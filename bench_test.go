@@ -1,0 +1,587 @@
+// Benchmark harness: one benchmark per paper artifact (figures 1–16,
+// theorems 1–3), plus the liveness matrix (E20), the scalability/
+// resilience experiment (E21), and the design-choice ablations
+// (DESIGN.md §5). Each benchmark reports its headline measurement as
+// custom metrics, so `go test -bench=. -benchmem` regenerates the
+// paper's rows/series.
+package livetm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"livetm/internal/adversary"
+	"livetm/internal/automaton"
+	"livetm/internal/core"
+	"livetm/internal/fgp"
+	"livetm/internal/liveness"
+	"livetm/internal/model"
+	"livetm/internal/native"
+	"livetm/internal/safety"
+	"livetm/internal/sim"
+	stmpkg "livetm/internal/stm"
+	"livetm/internal/stm/dstm"
+	"livetm/internal/stm/glock"
+	"livetm/internal/stm/ostm"
+	"livetm/internal/stm/stmtest"
+)
+
+var printOnce sync.Map
+
+// printHeader prints a benchmark's table once per process, keeping
+// -bench output readable across b.N calibration runs.
+func printHeader(key, text string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Print(text)
+	}
+}
+
+// --- Figures 1, 3, 4, 8/11: safety checker verdicts ---
+
+func benchVerdict(b *testing.B, h model.History, wantOpaque, wantSS bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		op, err := safety.CheckOpacity(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := safety.CheckStrictSerializability(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if op.Holds != wantOpaque || ss.Holds != wantSS {
+			b.Fatalf("verdicts opaque=%v ss=%v, want %v,%v", op.Holds, ss.Holds, wantOpaque, wantSS)
+		}
+	}
+}
+
+func BenchmarkFig01RetryHistory(b *testing.B) {
+	printHeader("fig1", "fig01: retry history — opaque=true strictly-serializable=true\n")
+	benchVerdict(b, core.Fig1(), true, true)
+}
+
+func BenchmarkFig03NotOpaque(b *testing.B) {
+	printHeader("fig3", "fig03: lost update — opaque=false strictly-serializable=false\n")
+	benchVerdict(b, core.Fig3(), false, false)
+}
+
+func BenchmarkFig04SSNotOpaque(b *testing.B) {
+	printHeader("fig4", "fig04: inconsistent aborted read — opaque=false strictly-serializable=true\n")
+	benchVerdict(b, core.Fig4(), false, true)
+}
+
+func BenchmarkFig08TerminationImpossible(b *testing.B) {
+	printHeader("fig8", "fig08/11: adversary termination suffix — opaque=false (Theorem 1's case analysis)\n")
+	benchVerdict(b, core.Fig8(0), false, false)
+}
+
+func BenchmarkFig11Alg2Termination(b *testing.B) {
+	benchVerdict(b, core.Fig11(7), false, false)
+}
+
+// --- Figure 2: class lattice over the figure lassos ---
+
+func BenchmarkFig02ClassLattice(b *testing.B) {
+	printHeader("fig2", "fig02: class lattice — crashed/parasitic ⊂ faulty ⊂ pending holds on all figure lassos\n")
+	lassos := []*liveness.Lasso{core.Fig5(), core.Fig6(), core.Fig7(), core.Fig14()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range lassos {
+			for _, p := range l.Procs {
+				if l.Crashes(p) && !l.Faulty(p) {
+					b.Fatal("crashed must imply faulty")
+				}
+				if l.Parasitic(p) && !l.Pending(p) {
+					b.Fatal("parasitic must imply pending")
+				}
+				if l.Starving(p) && !(l.Correct(p) && l.Pending(p)) {
+					b.Fatal("starving must imply correct and pending")
+				}
+			}
+		}
+	}
+}
+
+// --- Figures 5, 6, 7, 14: liveness property membership ---
+
+func benchLasso(b *testing.B, l *liveness.Lasso, wantLocal, wantGlobal, wantSolo bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if liveness.LocalProgress.Contains(l) != wantLocal ||
+			liveness.GlobalProgress.Contains(l) != wantGlobal ||
+			liveness.SoloProgress.Contains(l) != wantSolo {
+			b.Fatal("liveness verdicts changed")
+		}
+	}
+}
+
+func BenchmarkFig05LocalProgress(b *testing.B) {
+	printHeader("fig5", "fig05: local=true global=true solo=true\n")
+	benchLasso(b, core.Fig5(), true, true, true)
+}
+
+func BenchmarkFig06GlobalProgress(b *testing.B) {
+	printHeader("fig6", "fig06: local=false global=true solo=true (witnesses: global progress is not biprogressing)\n")
+	benchLasso(b, core.Fig6(), false, true, true)
+}
+
+func BenchmarkFig07SoloProgress(b *testing.B) {
+	printHeader("fig7", "fig07: crash+parasitic+solo runner — solo=true\n")
+	benchLasso(b, core.Fig7(), true, true, true)
+}
+
+func BenchmarkFig14Blocking(b *testing.B) {
+	printHeader("fig14", "fig14: solo runner starves — violates every nonblocking property\n")
+	l := core.Fig14()
+	for i := 0; i < b.N; i++ {
+		if !liveness.ViolatesNonblocking(l) {
+			b.Fatal("figure 14 must violate nonblocking")
+		}
+	}
+}
+
+// --- Figures 9, 10, 12, 13: adversary suffixes ---
+
+func benchAdversary(b *testing.B, alg int, cfg adversary.Config, label string) {
+	b.Helper()
+	factory := func(n, v int) stmpkg.TM { return dstm.New() }
+	var rounds, p1aborts int
+	for i := 0; i < b.N; i++ {
+		var res adversary.Result
+		if alg == 1 {
+			res = adversary.Algorithm1(factory, cfg)
+		} else {
+			res = adversary.Algorithm2(factory, cfg)
+		}
+		if res.P1Committed {
+			b.Fatal("p1 committed")
+		}
+		rounds = res.Rounds
+		p1aborts = res.Stats.Aborts[1]
+	}
+	printHeader(label, fmt.Sprintf("%s: p2 commits=%d, p1 commits=0, p1 aborts=%d\n", label, rounds, p1aborts))
+	b.ReportMetric(float64(rounds), "p2commits")
+}
+
+func BenchmarkFig09Alg1Crash(b *testing.B) {
+	benchAdversary(b, 1, adversary.Config{Rounds: 6, Seed: 5, CrashP1AfterRead: true}, "fig09 (alg1, p1 crashes)")
+}
+
+func BenchmarkFig10Alg1NoCrash(b *testing.B) {
+	benchAdversary(b, 1, adversary.Config{Rounds: 6, Seed: 5}, "fig10 (alg1, p1 correct, starves)")
+}
+
+func BenchmarkFig12Alg2Parasitic(b *testing.B) {
+	benchAdversary(b, 2, adversary.Config{Rounds: 6, Seed: 5, ParasiticP1: true}, "fig12 (alg2, p1 parasitic)")
+}
+
+func BenchmarkFig13Alg2NoParasite(b *testing.B) {
+	benchAdversary(b, 2, adversary.Config{Rounds: 6, Seed: 5}, "fig13 (alg2, p1 correct, starves)")
+}
+
+// --- Figure 15: Fgp state space ---
+
+func BenchmarkFig15FgpStateSpace(b *testing.B) {
+	a, err := fgp.New(1, 1, fgp.Faithful)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alphabet := a.Alphabet([]model.Value{0, 1})
+	var n int
+	for i := 0; i < b.N; i++ {
+		states, err := automaton.Explore(a.IOAutomaton(), alphabet, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(states) != 10 {
+			b.Fatalf("states = %d, want 10", len(states))
+		}
+		n = len(states)
+	}
+	printHeader("fig15", fmt.Sprintf("fig15: Fgp(1 proc, 1 binary var) reachable states = %d (paper: 10)\n", n))
+	b.ReportMetric(float64(n), "states")
+}
+
+// --- Figure 16: Hex replay ---
+
+func BenchmarkFig16FgpHex(b *testing.B) {
+	printHeader("fig16", "fig16: Hex replays through Fgp and is opaque\n")
+	a, err := fgp.New(3, 2, fgp.Corrected)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hex := core.Fig16Hex()
+	io := a.IOAutomaton()
+	for i := 0; i < b.N; i++ {
+		if _, err := io.Replay(hex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Theorems ---
+
+func BenchmarkThm1Impossibility(b *testing.B) {
+	var starved int
+	for i := 0; i < b.N; i++ {
+		outs := core.Theorem1Evidence(3, false)
+		starved = 0
+		for _, o := range outs {
+			if !o.Starved {
+				b.Fatalf("%s/%s: p1 committed", o.TM, o.Strategy)
+			}
+			starved++
+		}
+	}
+	printHeader("thm1", fmt.Sprintf("thm1: %d adversary runs (%d TMs × 2 strategies), p1 starved in all\n", starved, starved/2))
+	b.ReportMetric(float64(starved), "starvedruns")
+}
+
+// BenchmarkLemma1NProcesses runs the n-process generalization: n-1
+// holders and one committer; at most one process progresses.
+func BenchmarkLemma1NProcesses(b *testing.B) {
+	for _, n := range []int{3, 5, 8} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			factory := func(procs, vars int) stmpkg.TM { return dstm.New() }
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res := adversary.Lemma1(factory, n, adversary.Config{Rounds: 5, Seed: uint64(n)})
+				if res.P1Committed {
+					b.Fatal("a holder committed")
+				}
+				progressing := 0
+				for _, c := range res.Stats.Commits {
+					if c > 0 {
+						progressing++
+					}
+				}
+				if progressing > 1 {
+					b.Fatalf("%d processes progressed", progressing)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "committerrounds")
+		})
+	}
+}
+
+func BenchmarkThm2Generalized(b *testing.B) {
+	printHeader("thm2", "thm2: starvation and blocking lassos violate biprogressing/nonblocking classes\n")
+	for i := 0; i < b.N; i++ {
+		notes := core.Theorem2Evidence()
+		if len(notes) != 2 {
+			b.Fatalf("evidence notes = %v", notes)
+		}
+	}
+}
+
+func BenchmarkThm3FgpOpacity(b *testing.B) {
+	var out core.Theorem3Outcome
+	for i := 0; i < b.N; i++ {
+		out = core.Theorem3Evidence(4, 120)
+		if out.Violation != "" {
+			b.Fatal(out.Violation)
+		}
+	}
+	printHeader("thm3", fmt.Sprintf("thm3: %d random schedules, all prefixes opaque, %d commits under faults\n",
+		out.SchedulesChecked, out.Commits))
+	b.ReportMetric(float64(out.Commits), "commits")
+}
+
+// --- E20: liveness matrix ---
+
+func BenchmarkLivenessMatrix(b *testing.B) {
+	var rows []core.MatrixRow
+	for i := 0; i < b.N; i++ {
+		rows = core.RunMatrix(core.MatrixConfig{Steps: 800, Sweep: 25, Ablations: true})
+		for _, r := range rows {
+			if !r.Match() {
+				b.Fatalf("%s: measured %+v, expected %+v", r.Name, r.Measured, r.Expected)
+			}
+		}
+	}
+	printHeader("matrix", "E20 liveness matrix:\n"+core.FormatMatrix(rows))
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+// --- E21: throughput under contention and faults (footnote 1) ---
+
+func BenchmarkScalability(b *testing.B) {
+	type point struct {
+		tm      string
+		procs   int
+		commits int
+	}
+	var series []point
+	for _, nf := range core.Registry(false) {
+		nf := nf
+		for _, procs := range []int{1, 2, 4, 8} {
+			procs := procs
+			b.Run(fmt.Sprintf("%s/p%d", nf.Name, procs), func(b *testing.B) {
+				var total int
+				for i := 0; i < b.N; i++ {
+					counts := stmtest.FaultFree(nf.Factory, procs, 4000, 9)
+					total = 0
+					for _, c := range counts {
+						total += c
+					}
+				}
+				series = append(series, point{nf.Name, procs, total})
+				b.ReportMetric(float64(total)/4000, "commits/step")
+			})
+		}
+	}
+	if len(series) > 0 {
+		text := "E21 commit throughput (commits per 4000 fair steps, shared counter):\n"
+		for _, p := range series {
+			text += fmt.Sprintf("  %-10s procs=%d commits=%d\n", p.tm, p.procs, p.commits)
+		}
+		printHeader("scal", text)
+	}
+}
+
+// BenchmarkNativeScalability is the wall-clock half of E21 (footnote
+// 1): a real sync/atomic TL2 versus a global mutex across goroutines
+// on real cores. Run with -cpu=1,2,4,8 to see the crossover: the
+// mutex wins at one core and the TM wins as cores (and disjointness)
+// grow.
+func BenchmarkNativeScalability(b *testing.B) {
+	const vars = 64
+	workloads := []struct {
+		name string
+		body func(tm native.TM, state *uint64) error
+	}{
+		{
+			// Disjoint counters: the embarrassingly parallel case.
+			name: "disjoint",
+			body: func(tm native.TM, state *uint64) error {
+				i := int(*state) % vars
+				*state++
+				return tm.Atomically(func(tx native.Txn) error {
+					v, err := tx.Read(i)
+					if err != nil {
+						return err
+					}
+					return tx.Write(i, v+1)
+				})
+			},
+		},
+		{
+			// Shared counter: maximal contention.
+			name: "contended",
+			body: func(tm native.TM, state *uint64) error {
+				return tm.Atomically(func(tx native.Txn) error {
+					v, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					return tx.Write(0, v+1)
+				})
+			},
+		},
+		{
+			// Read-mostly: 15 snapshot reads per write.
+			name: "readmostly",
+			body: func(tm native.TM, state *uint64) error {
+				*state++
+				write := *state%16 == 0
+				return tm.Atomically(func(tx native.Txn) error {
+					if write {
+						v, err := tx.Read(3)
+						if err != nil {
+							return err
+						}
+						return tx.Write(3, v+1)
+					}
+					for i := 0; i < 8; i++ {
+						if _, err := tx.Read(i); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			},
+		},
+	}
+	for _, w := range workloads {
+		w := w
+		for _, mk := range []func() (native.TM, error){
+			func() (native.TM, error) { return native.NewTL2(vars) },
+			func() (native.TM, error) { return native.NewMutex(vars) },
+		} {
+			tm, err := mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(w.name+"/"+tm.Name(), func(b *testing.B) {
+				b.RunParallel(func(pb *testing.PB) {
+					state := uint64(1)
+					for pb.Next() {
+						if err := w.body(tm, &state); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func BenchmarkAblationOpacityChecker(b *testing.B) {
+	// Six pairwise-concurrent transactions that all read 0 and write
+	// distinct values: only one can be serialized first, so legality
+	// pruning cuts every branch at depth ~2 while the naive search
+	// enumerates entire orders.
+	var h model.History
+	for p := model.Proc(1); p <= 6; p++ {
+		h = append(h, model.Read(p, 0), model.ValueResp(p, 0))
+	}
+	for p := model.Proc(1); p <= 6; p++ {
+		h = append(h,
+			model.Write(p, 0, model.Value(p)), model.OK(p),
+			model.TryCommit(p), model.Commit(p))
+	}
+	b.Run("pruned", func(b *testing.B) {
+		var explored int
+		for i := 0; i < b.N; i++ {
+			res, err := safety.CheckOpacity(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			explored = res.Explored
+		}
+		b.ReportMetric(float64(explored), "prefixes")
+	})
+	b.Run("naive", func(b *testing.B) {
+		var explored int
+		for i := 0; i < b.N; i++ {
+			res, err := safety.CheckOpacityNaive(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			explored = res.Explored
+		}
+		b.ReportMetric(float64(explored), "prefixes")
+	})
+}
+
+func BenchmarkAblationCM(b *testing.B) {
+	b.Run("abort-other", func(b *testing.B) {
+		var worst int
+		for i := 0; i < b.N; i++ {
+			worst = stmtest.CrashSweep(func(n, v int) stmpkg.TM { return dstm.New() }, 400, 20, 17)
+			if worst == 0 {
+				b.Fatal("aggressive CM must tolerate crashes")
+			}
+		}
+		b.ReportMetric(float64(worst), "worstsurvivorcommits")
+	})
+	b.Run("abort-self", func(b *testing.B) {
+		var worst int
+		for i := 0; i < b.N; i++ {
+			worst = stmtest.CrashSweep(func(n, v int) stmpkg.TM { return dstm.NewWithCM(dstm.AbortSelf) }, 400, 20, 17)
+			if worst != 0 {
+				b.Fatal("polite CM must wedge on a crashed owner")
+			}
+		}
+		b.ReportMetric(float64(worst), "worstsurvivorcommits")
+	})
+}
+
+func BenchmarkAblationGlockFairness(b *testing.B) {
+	measure := func(b *testing.B, factory stmpkg.Factory) (min, max int) {
+		counts := stmtest.FaultFree(factory, 3, 6000, 13)
+		min, max = -1, 0
+		for _, c := range counts {
+			if min < 0 || c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return min, max
+	}
+	b.Run("fifo", func(b *testing.B) {
+		var min, max int
+		for i := 0; i < b.N; i++ {
+			min, max = measure(b, func(n, v int) stmpkg.TM { return glock.New() })
+		}
+		b.ReportMetric(float64(min), "mincommits")
+		b.ReportMetric(float64(max), "maxcommits")
+	})
+	b.Run("barging", func(b *testing.B) {
+		var min, max int
+		for i := 0; i < b.N; i++ {
+			min, max = measure(b, func(n, v int) stmpkg.TM { return glock.NewBarging() })
+		}
+		b.ReportMetric(float64(min), "mincommits")
+		b.ReportMetric(float64(max), "maxcommits")
+	})
+}
+
+func BenchmarkAblationHelping(b *testing.B) {
+	b.Run("helping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if worst := stmtest.CrashSweep(func(n, v int) stmpkg.TM { return ostm.New() }, 400, 20, 23); worst == 0 {
+				b.Fatal("helping must tolerate crashes")
+			}
+		}
+	})
+	b.Run("no-helping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if worst := stmtest.CrashSweep(func(n, v int) stmpkg.TM { return ostm.NewWithoutHelping() }, 400, 20, 23); worst != 0 {
+				b.Fatal("without helping a crashed committer must wedge conflicting txns")
+			}
+		}
+	})
+}
+
+// --- Checker and TM micro-benchmarks ---
+
+func BenchmarkOpacityCheckerLargerHistory(b *testing.B) {
+	// 12 transactions across 3 processes and 2 variables.
+	bd := model.NewBuilder()
+	for i := 0; i < 12; i++ {
+		p := model.Proc(i%3 + 1)
+		x := model.TVar(i % 2)
+		bd.Read(p, x, model.Value(i/2*2/2*0)) // always read 0: everything stays legal
+		bd.Commit(p)
+	}
+	h := bd.History()
+	for i := 0; i < b.N; i++ {
+		res, err := safety.CheckOpacity(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Holds {
+			b.Fatal("read-only history must be opaque")
+		}
+	}
+}
+
+func BenchmarkTMOperations(b *testing.B) {
+	for _, nf := range core.Registry(false) {
+		nf := nf
+		b.Run(nf.Name, func(b *testing.B) {
+			tm := nf.Factory(1, 4)
+			env := sim.Background(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, st := tm.Read(env, 0)
+				if st != stmpkg.OK {
+					continue
+				}
+				if tm.Write(env, 0, v+1) != stmpkg.OK {
+					continue
+				}
+				tm.TryCommit(env)
+			}
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun executes the whole figure regeneration; every checker
+// verdict inside is asserted by run itself (it errors on any
+// discrepancy such as Hex being rejected).
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,521 @@
+// Command livetm is the experiment driver for the reproduction of
+// "On the Liveness of Transactional Memory" (PODC 2012).
+//
+// Subcommands:
+//
+//	livetm matrix [-ablations] [-steps N]
+//	    Run the liveness matrix (DESIGN.md E20): each TM × fault
+//	    model, compared against the paper's §3.2.3 claims.
+//
+//	livetm adversary -tm NAME [-alg 1|2] [-crash] [-parasitic] [-rounds N] [-out FILE]
+//	    Run the Theorem 1 environment strategy against a TM and print
+//	    the resulting history suffix (Figures 9, 10, 12, 13).
+//
+//	livetm check -file FILE
+//	    Load a JSON Lines trace and decide opacity and strict
+//	    serializability, printing a witness serialization.
+//
+//	livetm classify -file FILE [-split N]
+//	    Read a trace as an infinite history (observed tail repeated
+//	    forever) and report the paper's process classes and
+//	    TM-liveness verdicts.
+//
+//	livetm theorem1 [-rounds N]
+//	    Run both strategies against every registered TM (E17).
+//
+//	livetm theorem3 [-schedules N]
+//	    Validate Fgp: opacity of random-schedule prefixes and steady
+//	    commits under faults (E19).
+//
+//	livetm fgp-states [-procs N] [-vars N] [-variant faithful|corrected]
+//	    Enumerate the reachable state space of a small Fgp instance
+//	    (Figure 15 is -procs 1 -vars 1 -variant faithful).
+//
+//	livetm fgp-dot [-procs N] [-vars N]
+//	    Emit the Fgp state graph as Graphviz DOT (Figure 15's diagram).
+//
+//	livetm explore -tm NAME [-depth N] [-procs N]
+//	    Exhaustively model-check a TM: enumerate every schedule of the
+//	    increment scenario up to the bound and verify opacity of each
+//	    reachable history.
+//
+//	livetm lattice [-samples N]
+//	    Sample the inclusion lattice of the TM-liveness properties
+//	    (local/k/global/solo/priority progress) with witnesses.
+//
+//	livetm report [-quick]
+//	    Regenerate every experiment in one pass as a markdown report.
+//
+//	livetm tms
+//	    List the registered TM implementations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"livetm/internal/adversary"
+	"livetm/internal/automaton"
+	"livetm/internal/core"
+	"livetm/internal/explore"
+	"livetm/internal/fgp"
+	"livetm/internal/liveness"
+	"livetm/internal/model"
+	"livetm/internal/safety"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "livetm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "matrix":
+		return cmdMatrix(args[1:])
+	case "check":
+		return cmdCheck(args[1:])
+	case "classify":
+		return cmdClassify(args[1:])
+	case "adversary":
+		return cmdAdversary(args[1:])
+	case "theorem1":
+		return cmdTheorem1(args[1:])
+	case "theorem3":
+		return cmdTheorem3(args[1:])
+	case "fgp-states":
+		return cmdFgpStates(args[1:])
+	case "fgp-dot":
+		return cmdFgpDOT(args[1:])
+	case "explore":
+		return cmdExplore(args[1:])
+	case "lattice":
+		return cmdLattice(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "tms":
+		return cmdTMs()
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: livetm <matrix|check|classify|adversary|theorem1|theorem3|fgp-states|fgp-dot|explore|lattice|report|tms> [flags]")
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	file := fs.String("file", "", "JSON Lines trace file (see `livetm adversary -out`)")
+	render := fs.Bool("render", true, "render the history")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("check: -file is required")
+	}
+	h, err := model.LoadTrace(*file)
+	if err != nil {
+		return err
+	}
+	if err := model.CheckWellFormed(h); err != nil {
+		return fmt.Errorf("trace is not well-formed: %w", err)
+	}
+	if *render {
+		fmt.Print(trace.Render(h))
+		fmt.Print(trace.Summary(h))
+	}
+	op, err := safety.CheckOpacity(h)
+	if err != nil {
+		return err
+	}
+	ss, err := safety.CheckStrictSerializability(h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("events=%d opaque=%v strictly-serializable=%v\n", len(h), op.Holds, ss.Holds)
+	if !op.Holds {
+		fmt.Println("opacity violation:", op.Reason)
+	}
+	if op.Holds {
+		fmt.Println("witness serialization:")
+		for _, t := range op.Witness {
+			fmt.Println("  ", t)
+		}
+	}
+	return nil
+}
+
+func cmdMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	ablations := fs.Bool("ablations", true, "include ablation variants")
+	steps := fs.Int("steps", 2000, "scheduler steps per scenario")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := core.RunMatrix(core.MatrixConfig{Steps: *steps, Ablations: *ablations})
+	fmt.Print(core.FormatMatrix(rows))
+	for _, r := range rows {
+		if !r.Match() {
+			return fmt.Errorf("matrix mismatch for %s", r.Name)
+		}
+	}
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	file := fs.String("file", "", "JSON Lines trace file")
+	split := fs.Int("split", -1, "prefix length; the rest is read as the repeating tail (default: half)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("classify: -file is required")
+	}
+	h, err := model.LoadTrace(*file)
+	if err != nil {
+		return err
+	}
+	at := *split
+	if at < 0 {
+		at = liveness.SplitHalf(h)
+	}
+	l, err := liveness.ClassifyRun(h, at, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read as: %d-event prefix + %d-event tail repeated forever\n", len(l.Prefix), len(l.Cycle))
+	for _, p := range l.Procs {
+		class := "correct"
+		switch {
+		case l.Crashes(p):
+			class = "crashed"
+		case l.Parasitic(p):
+			class = "parasitic"
+		case l.Starving(p):
+			class = "starving"
+		}
+		fmt.Printf("  p%d: %-10s progress=%v\n", p, class, l.MakesProgress(p))
+	}
+	fmt.Printf("local=%v global=%v solo=%v 2-progress=%v\n",
+		liveness.LocalProgress.Contains(l),
+		liveness.GlobalProgress.Contains(l),
+		liveness.SoloProgress.Contains(l),
+		liveness.KProgress(2).Contains(l))
+	return nil
+}
+
+func cmdAdversary(args []string) error {
+	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
+	tmName := fs.String("tm", "dstm", "TM implementation (see `livetm tms`)")
+	alg := fs.Int("alg", 1, "strategy: 1 (parasitic-free case) or 2 (crash-free case)")
+	crash := fs.Bool("crash", false, "crash p1 after its first read (Figure 9; algorithm 1)")
+	parasitic := fs.Bool("parasitic", false, "make p1 parasitic (Figure 12; algorithm 2)")
+	rounds := fs.Int("rounds", 10, "p2 commits before stopping")
+	tail := fs.Int("tail", 48, "events of the history suffix to print")
+	out := fs.String("out", "", "write the full history as a JSON Lines trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nf, ok := core.Lookup(*tmName)
+	if !ok {
+		return fmt.Errorf("unknown TM %q", *tmName)
+	}
+	cfg := adversary.Config{Rounds: *rounds, CrashP1AfterRead: *crash, ParasiticP1: *parasitic, Seed: 3}
+	var res adversary.Result
+	switch *alg {
+	case 1:
+		res = adversary.Algorithm1(nf.Factory, cfg)
+	case 2:
+		res = adversary.Algorithm2(nf.Factory, cfg)
+	default:
+		return fmt.Errorf("alg must be 1 or 2")
+	}
+	fmt.Printf("adversary algorithm %d vs %s: rounds=%d p1Committed=%v steps=%d\n",
+		*alg, nf.Name, res.Rounds, res.P1Committed, res.Steps)
+	fmt.Printf("commits: p1=%d p2=%d   aborts: p1=%d p2=%d\n",
+		res.Stats.Commits[1], res.Stats.Commits[2], res.Stats.Aborts[1], res.Stats.Aborts[2])
+	h := res.History
+	if len(h) > *tail {
+		fmt.Printf("history suffix (last %d of %d events):\n", *tail, len(h))
+		h = h[len(h)-*tail:]
+	}
+	fmt.Print(trace.Render(h))
+	fmt.Print(trace.Summary(res.History))
+	if *out != "" {
+		if err := model.SaveTrace(*out, res.History); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *out, len(res.History))
+	}
+	if res.P1Committed {
+		return fmt.Errorf("p1 committed: safety or strategy violation")
+	}
+	return nil
+}
+
+func cmdTheorem1(args []string) error {
+	fs := flag.NewFlagSet("theorem1", flag.ContinueOnError)
+	rounds := fs.Int("rounds", 10, "p2 commits per run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	outs := core.Theorem1Evidence(*rounds, true)
+	fmt.Print(core.FormatTheorem1(outs))
+	for _, o := range outs {
+		if !o.Starved {
+			return fmt.Errorf("%s/%s: p1 committed", o.TM, o.Strategy)
+		}
+	}
+	for _, note := range core.Theorem2Evidence() {
+		fmt.Println("theorem 2:", note)
+	}
+	return nil
+}
+
+func cmdTheorem3(args []string) error {
+	fs := flag.NewFlagSet("theorem3", flag.ContinueOnError)
+	schedules := fs.Int("schedules", 25, "random schedules to check")
+	ops := fs.Int("ops", 200, "operations per schedule")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	out := core.Theorem3Evidence(*schedules, *ops)
+	if out.Violation != "" {
+		return fmt.Errorf("theorem 3 violated: %s", out.Violation)
+	}
+	fmt.Printf("theorem 3: %d schedules checked, %d opaque prefixes, %d commits — Fgp ensures opacity and global progress\n",
+		out.SchedulesChecked, out.PrefixesOpaque, out.Commits)
+	return nil
+}
+
+func cmdFgpStates(args []string) error {
+	fs := flag.NewFlagSet("fgp-states", flag.ContinueOnError)
+	procs := fs.Int("procs", 1, "process count")
+	vars := fs.Int("vars", 1, "t-variable count")
+	variantName := fs.String("variant", "faithful", "faithful or corrected")
+	limit := fs.Int("limit", 2000, "state budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	variant := fgp.Faithful
+	if *variantName == "corrected" {
+		variant = fgp.Corrected
+	} else if *variantName != "faithful" {
+		return fmt.Errorf("variant must be faithful or corrected")
+	}
+	a, err := fgp.New(*procs, *vars, variant)
+	if err != nil {
+		return err
+	}
+	states, err := automaton.Explore(a.IOAutomaton(), a.Alphabet([]model.Value{0, 1}), *limit)
+	if err != nil {
+		return fmt.Errorf("explore: %w (found %d states)", err, len(states))
+	}
+	fmt.Printf("Fgp procs=%d vars=%d variant=%s: %d reachable states\n", *procs, *vars, variant, len(states))
+	for i, s := range states {
+		fmt.Printf("  s%-3d = %s\n", i+1, s.(*fgp.State))
+	}
+	return nil
+}
+
+func cmdFgpDOT(args []string) error {
+	fs := flag.NewFlagSet("fgp-dot", flag.ContinueOnError)
+	procs := fs.Int("procs", 1, "process count")
+	vars := fs.Int("vars", 1, "t-variable count")
+	limit := fs.Int("limit", 2000, "state budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := fgp.New(*procs, *vars, fgp.Faithful)
+	if err != nil {
+		return err
+	}
+	alphabet := a.Alphabet([]model.Value{0, 1})
+	states, err := automaton.Explore(a.IOAutomaton(), alphabet, *limit)
+	if err != nil {
+		return fmt.Errorf("explore: %w", err)
+	}
+	edges := automaton.Edges(a.IOAutomaton(), states, alphabet)
+	fmt.Print(automaton.DOT(states, edges))
+	return nil
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	tmName := fs.String("tm", "tl2", "TM implementation (see `livetm tms`)")
+	depth := fs.Int("depth", 14, "schedule step bound")
+	procs := fs.Int("procs", 2, "process count (each runs one increment transaction)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nf, ok := core.Lookup(*tmName)
+	if !ok {
+		return fmt.Errorf("unknown TM %q", *tmName)
+	}
+	sc := explore.Scenario{
+		NProcs:  *procs,
+		NVars:   1,
+		Factory: nf.Factory,
+		Body: func(tm stm.TM, p model.Proc) func(*sim.Env) {
+			return func(env *sim.Env) {
+				v, st := tm.Read(env, 0)
+				if st != stm.OK {
+					return
+				}
+				if tm.Write(env, 0, v+1) != stm.OK {
+					return
+				}
+				tm.TryCommit(env)
+			}
+		},
+	}
+	stats, err := explore.Run(sc, *depth, func(schedule []model.Proc, h model.History) error {
+		res, cerr := safety.CheckOpacity(h)
+		if cerr != nil {
+			return cerr
+		}
+		if !res.Holds {
+			return fmt.Errorf("not opaque: %s", res.Reason)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("exhaustive check FAILED: %w", err)
+	}
+	fmt.Printf("exhaustively verified %s: %d schedules (deepest %d), every reachable history opaque\n",
+		nf.Name, stats.Schedules, stats.Deepest)
+	return nil
+}
+
+// cmdReport regenerates every experiment in one pass and emits a
+// self-contained markdown report — the "rerun the paper" command.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "smaller budgets for a fast smoke report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	steps, rounds, samples, depth := 2000, 10, 5000, 14
+	if *quick {
+		steps, rounds, samples, depth = 800, 4, 800, 10
+	}
+
+	fmt.Println("# livetm experiment report")
+	fmt.Println()
+	fmt.Println("Reproduction of Bushkov, Guerraoui, Kapałka: On the Liveness of")
+	fmt.Println("Transactional Memory (PODC 2012). All runs are deterministic.")
+
+	fmt.Println("\n## E20 — liveness matrix (§3.2.3 claims)\n\n```")
+	rows := core.RunMatrix(core.MatrixConfig{Steps: steps, Ablations: true})
+	fmt.Print(core.FormatMatrix(rows))
+	fmt.Println("```")
+	for _, r := range rows {
+		if !r.Match() {
+			return fmt.Errorf("matrix mismatch for %s", r.Name)
+		}
+	}
+
+	fmt.Println("\n## E17 — Theorem 1 (impossibility of local progress)\n\n```")
+	outs := core.Theorem1Evidence(rounds, true)
+	fmt.Print(core.FormatTheorem1(outs))
+	fmt.Println("```")
+	for _, o := range outs {
+		if !o.Starved {
+			return fmt.Errorf("%s/%s: p1 committed", o.TM, o.Strategy)
+		}
+	}
+	for _, note := range core.Theorem2Evidence() {
+		fmt.Println("- Theorem 2:", note)
+	}
+
+	fmt.Println("\n## E19 — Theorem 3 (Fgp: opacity + global progress)")
+	t3 := core.Theorem3Evidence(25, 200)
+	if t3.Violation != "" {
+		return fmt.Errorf("theorem 3 violated: %s", t3.Violation)
+	}
+	fmt.Printf("\n%d random fault-injected schedules; %d opaque prefixes; %d commits.\n",
+		t3.SchedulesChecked, t3.PrefixesOpaque, t3.Commits)
+
+	fmt.Println("\n## E25 — TM-liveness property lattice\n\n```")
+	fmt.Print(core.BuildPropertyLattice(samples).Format())
+	fmt.Println("```")
+
+	fmt.Println("\n## E26 — exhaustive model checking")
+	fmt.Println()
+	for _, name := range []string{"tinystm", "tl2", "norec", "dstm", "ostm", "fgp"} {
+		nf, ok := core.Lookup(name)
+		if !ok {
+			return fmt.Errorf("%s not registered", name)
+		}
+		sc := explore.Scenario{NProcs: 2, NVars: 1, Factory: nf.Factory,
+			Body: func(tm stm.TM, p model.Proc) func(*sim.Env) {
+				return func(env *sim.Env) {
+					v, st := tm.Read(env, 0)
+					if st != stm.OK {
+						return
+					}
+					if tm.Write(env, 0, v+1) != stm.OK {
+						return
+					}
+					tm.TryCommit(env)
+				}
+			}}
+		stats, err := explore.Run(sc, depth, func(schedule []model.Proc, h model.History) error {
+			res, cerr := safety.CheckOpacity(h)
+			if cerr != nil {
+				return cerr
+			}
+			if !res.Holds {
+				return fmt.Errorf("not opaque: %s", res.Reason)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("%s failed exhaustive verification: %w", name, err)
+		}
+		fmt.Printf("- %s: %d schedules (deepest %d), every reachable history opaque\n",
+			name, stats.Schedules, stats.Deepest)
+	}
+	fmt.Println("\nreport complete: all experiments match the paper's claims.")
+	return nil
+}
+
+func cmdLattice(args []string) error {
+	fs := flag.NewFlagSet("lattice", flag.ContinueOnError)
+	samples := fs.Int("samples", 5000, "random lassos to sample")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lat := core.BuildPropertyLattice(*samples)
+	fmt.Print(lat.Format())
+	return nil
+}
+
+func cmdTMs() error {
+	for _, nf := range core.Registry(true) {
+		kind := "paper system"
+		if nf.Ablation {
+			kind = "ablation variant"
+		}
+		fmt.Printf("%-16s %s  (expected: fault-free=%v crash=%v parasitic=%v)\n",
+			nf.Name, kind,
+			nf.Expected.LocalFaultFree, nf.Expected.SoloUnderCrash, nf.Expected.SoloUnderParasitic)
+	}
+	return nil
+}

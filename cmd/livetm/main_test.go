@@ -1,0 +1,137 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand must error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand must error")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestCmdTMs(t *testing.T) {
+	if err := run([]string{"tms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdMatrixSmall(t *testing.T) {
+	if err := run([]string{"matrix", "-steps", "600", "-ablations=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdAdversary(t *testing.T) {
+	if err := run([]string{"adversary", "-tm", "dstm", "-alg", "1", "-rounds", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"adversary", "-tm", "tl2", "-alg", "2", "-parasitic", "-rounds", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"adversary", "-tm", "nope"}); err == nil {
+		t.Error("unknown TM must error")
+	}
+	if err := run([]string{"adversary", "-tm", "dstm", "-alg", "9"}); err == nil {
+		t.Error("invalid algorithm must error")
+	}
+}
+
+func TestCmdAdversaryOutAndCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"adversary", "-tm", "ostm", "-rounds", "3", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", "-file", path, "-render=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check"}); err == nil {
+		t.Error("check without -file must error")
+	}
+	if err := run([]string{"check", "-file", filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
+		t.Error("check with a missing file must error")
+	}
+}
+
+func TestCmdClassify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"adversary", "-tm", "tl2", "-rounds", "3", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"classify", "-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"classify", "-file", path, "-split", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"classify"}); err == nil {
+		t.Error("classify without -file must error")
+	}
+	if err := run([]string{"classify", "-file", path, "-split", "100000"}); err == nil {
+		t.Error("out-of-range split must error")
+	}
+}
+
+func TestCmdTheorem1(t *testing.T) {
+	if err := run([]string{"theorem1", "-rounds", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdTheorem3(t *testing.T) {
+	if err := run([]string{"theorem3", "-schedules", "3", "-ops", "60"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdExplore(t *testing.T) {
+	if err := run([]string{"explore", "-tm", "tl2", "-depth", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"explore", "-tm", "nope"}); err == nil {
+		t.Error("unknown TM must error")
+	}
+}
+
+func TestCmdFgpDOT(t *testing.T) {
+	if err := run([]string{"fgp-dot"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fgp-dot", "-procs", "2", "-limit", "3"}); err == nil {
+		t.Error("limit overflow must error")
+	}
+}
+
+func TestCmdFgpStates(t *testing.T) {
+	if err := run([]string{"fgp-states"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fgp-states", "-variant", "corrected"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fgp-states", "-variant", "wat"}); err == nil {
+		t.Error("invalid variant must error")
+	}
+	if err := run([]string{"fgp-states", "-procs", "2", "-vars", "1", "-limit", "5"}); err == nil {
+		t.Error("limit overflow must error")
+	}
+}
+
+func TestCmdLattice(t *testing.T) {
+	if err := run([]string{"lattice", "-samples", "500"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdReport(t *testing.T) {
+	if err := run([]string{"report", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,15 @@
+// Package livetm reproduces "On the Liveness of Transactional Memory"
+// (Bushkov, Guerraoui, Kapałka; PODC 2012) as an executable Go
+// library: the formal model of TM histories, decision procedures for
+// opacity and strict serializability, the paper's TM-liveness
+// properties over eventually-periodic infinite histories, the Fgp
+// global-progress automaton, the impossibility adversaries of Theorem
+// 1, and six TM implementations (global lock, TinySTM-, TL2-, DSTM-,
+// OSTM-style, and Fgp) classified under crash and parasitic fault
+// injection.
+//
+// The implementation lives under internal/; see README.md for the
+// architecture, cmd/figures and cmd/livetm for the experiment
+// drivers, and bench_test.go in this directory for the benchmark
+// harness that regenerates every figure of the paper.
+package livetm

@@ -1,0 +1,69 @@
+// Quickstart: run transactions on a TM, record the history, and check
+// it for opacity — the core workflow of the library.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"livetm/internal/model"
+	"livetm/internal/safety"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/tl2"
+	"livetm/internal/trace"
+	"livetm/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Create a TM (TL2-style) and wrap it with a history recorder.
+	rec := stm.NewRecorder(tl2.New())
+
+	// 2. Run two processes under the deterministic cooperative
+	// scheduler. Each increments a shared counter transactionally.
+	s := sim.New(sim.NewSeeded(42))
+	defer s.Close()
+	for p := model.Proc(1); p <= 2; p++ {
+		_ = s.Spawn(p, func(env *sim.Env) {
+			for i := 0; i < 3; i++ {
+				attempts := workload.Increment(rec, env, 0)
+				fmt.Printf("p%d committed increment #%d after %d attempt(s)\n", env.Proc(), i+1, attempts)
+			}
+		})
+	}
+	s.Run(10000)
+
+	// 3. Inspect the recorded history.
+	h := rec.History()
+	fmt.Println("\nrecorded history:")
+	fmt.Print(trace.Render(h))
+
+	// 4. Check safety: the history must be opaque (and therefore
+	// strictly serializable).
+	op, err := safety.CheckOpacity(h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nopaque: %v\n", op.Holds)
+	if !op.Holds {
+		return fmt.Errorf("opacity violated: %s", op.Reason)
+	}
+	fmt.Println("witness serialization:")
+	for _, t := range op.Witness {
+		fmt.Println("  ", t)
+	}
+
+	// 5. The counter ends at 6: three commits per process.
+	env := sim.Background(3)
+	var final model.Value
+	workload.Atomically(rec, env, func(tx *workload.Tx) { final = tx.Read(0) })
+	fmt.Printf("\nfinal counter value: %d (want 6)\n", final)
+	return nil
+}

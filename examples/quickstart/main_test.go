@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun executes the whole example; it errors on any verdict that
+// deviates from the paper's claims.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

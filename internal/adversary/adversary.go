@@ -1,0 +1,355 @@
+// Package adversary implements the environment strategies from the
+// impossibility proofs of the paper (§4, §5): Algorithm 1 (used in
+// parasitic-free systems), Algorithm 2 (used in crash-free systems),
+// their crash/parasitic variants (Figures 9, 10, 12, 13), and the
+// n-process generalization behind Lemma 1.
+//
+// The strategies drive two (or n) processes against an arbitrary TM
+// through the operational interface. Against any TM that ensures
+// opacity, process p1 can never commit (the would-be terminating
+// history — Figures 8 and 11 — is not opaque), so every run witnesses
+// a violation of local progress: either p1 starves while p2 commits
+// forever, or the TM blocks and nobody commits — which violates local
+// progress too.
+package adversary
+
+import (
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+)
+
+// X is the single t-variable the strategies use.
+const X = model.TVar(0)
+
+// Config parameterizes an adversary run.
+type Config struct {
+	// Rounds is the number of p2 commits after which the run stops
+	// (the adversary could go on forever; a run is a finite sample of
+	// the infinite history).
+	Rounds int
+	// MaxSteps bounds the scheduler steps so runs against blocking
+	// TMs terminate.
+	MaxSteps int
+	// Seed drives the scheduler for the phases where both processes
+	// are runnable.
+	Seed uint64
+	// CrashP1AfterRead crashes p1 right after its first successful
+	// Step-1 read (the Figure 9 variant of Algorithm 1).
+	CrashP1AfterRead bool
+	// ParasiticP1 makes p1 keep reading forever, never attempting to
+	// commit and ignoring its scheduled write/commit turns (the
+	// Figure 12 variant of Algorithm 2).
+	ParasiticP1 bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 20
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result reports what the adversary achieved.
+type Result struct {
+	// History is the recorded history of the run.
+	History model.History
+	// Stats summarizes commits/aborts per process.
+	Stats stm.Stats
+	// Rounds is the number of completed p2 commits.
+	Rounds int
+	// P1Committed reports whether p1 ever committed. Against an
+	// opaque TM this must be false (Theorem 1); true means the run
+	// found a safety violation.
+	P1Committed bool
+	// Steps is the number of scheduler steps consumed.
+	Steps int
+}
+
+// LocalProgressViolated reports whether the sampled run is consistent
+// with a violation of local progress: p1 never committed. (In the
+// infinite continuation p1 is correct — it is aborted or retries
+// forever — yet pending.)
+func (r Result) LocalProgressViolated() bool { return !r.P1Committed }
+
+// Algorithm1 runs the parasitic-free-case strategy (§4, Algorithm 1)
+// against a fresh TM from the factory:
+//
+//	Step 1: p1 reads x (response v1 or A1).
+//	Step 2: p2 reads x, writes v+1, tries to commit — repeated until
+//	        the commit succeeds.
+//	Step 3: if p1's read succeeded, p1 writes v+1 and tries to
+//	        commit; on any abort the algorithm returns to Step 1.
+//
+// With CrashP1AfterRead, p1 crashes after its first successful read
+// and only Step 2 repeats forever (Figure 9); otherwise p1 is
+// aborted infinitely often (Figure 10).
+func Algorithm1(factory stm.Factory, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rec := stm.NewRecorder(factory(2, 1))
+	s := sim.New(sim.NewSeeded(cfg.Seed))
+	defer s.Close()
+
+	// Shared state of the strategy state machine. All accesses happen
+	// under the cooperative scheduler, so there are no data races.
+	const (
+		phaseP1Read = iota + 1
+		phaseP2Commit
+		phaseP1Finish
+	)
+	phase := phaseP1Read
+	var (
+		p1Val       model.Value
+		p1HasRead   bool
+		rounds      int
+		p1Committed bool
+	)
+
+	_ = s.Spawn(1, func(env *sim.Env) {
+		for {
+			for phase != phaseP1Read {
+				env.Yield()
+			}
+			v, st := rec.Read(env, X)
+			p1Val, p1HasRead = v, st == stm.OK
+			phase = phaseP2Commit
+			if cfg.CrashP1AfterRead && p1HasRead {
+				// Figure 9: p1 stops taking steps forever. The crash
+				// is effected by the driver below; from p1's side we
+				// just stop issuing operations.
+				for {
+					env.Yield()
+				}
+			}
+			for phase != phaseP1Finish {
+				env.Yield()
+			}
+			if p1HasRead {
+				if rec.Write(env, X, p1Val+1) == stm.OK {
+					if rec.TryCommit(env) == stm.OK {
+						p1Committed = true
+						phase = phaseP1Read
+						return
+					}
+				}
+			}
+			phase = phaseP1Read
+		}
+	})
+	_ = s.Spawn(2, func(env *sim.Env) {
+		for {
+			for phase != phaseP2Commit {
+				env.Yield()
+			}
+			v, st := rec.Read(env, X)
+			if st != stm.OK {
+				continue
+			}
+			if rec.Write(env, X, v+1) != stm.OK {
+				continue
+			}
+			if rec.TryCommit(env) != stm.OK {
+				continue
+			}
+			rounds++
+			phase = phaseP1Finish
+		}
+	})
+
+	for s.Steps() < cfg.MaxSteps && rounds < cfg.Rounds && !p1Committed {
+		if cfg.CrashP1AfterRead {
+			if phase != phaseP1Read && !s.Crashed(1) {
+				s.Crash(1)
+			}
+			// With p1 crashed, Step 3 never happens: p2 runs alone,
+			// round after round (Figure 9's suffix).
+			if s.Crashed(1) && phase != phaseP2Commit {
+				phase = phaseP2Commit
+			}
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	return result(rec, rounds, p1Committed, s.Steps())
+}
+
+// Algorithm2 runs the crash-free-case strategy (§4, Algorithm 2):
+//
+//	Step 1: p1 reads x; then p2 reads x, writes v+1, and tries to
+//	        commit. Step 1 repeats until p2's commit succeeds.
+//	Step 2: if p1's last response was a value, p1 writes v+1 and
+//	        tries to commit; any abort goes back to Step 1.
+//
+// With ParasiticP1, p1 never takes Step 2: it keeps reading forever
+// without attempting to commit (Figure 12); otherwise p1 is aborted
+// infinitely often (Figure 13).
+func Algorithm2(factory stm.Factory, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rec := stm.NewRecorder(factory(2, 1))
+	s := sim.New(sim.NewSeeded(cfg.Seed))
+	defer s.Close()
+
+	const (
+		phaseP1Read = iota + 1
+		phaseP2Try
+		phaseP1Finish
+	)
+	phase := phaseP1Read
+	var (
+		p1Val       model.Value
+		p1HasRead   bool
+		rounds      int
+		p1Committed bool
+	)
+
+	_ = s.Spawn(1, func(env *sim.Env) {
+		for {
+			for phase != phaseP1Read {
+				env.Yield()
+			}
+			v, st := rec.Read(env, X)
+			p1Val, p1HasRead = v, st == stm.OK
+			phase = phaseP2Try
+			if cfg.ParasiticP1 {
+				continue // never attempt Step 2: parasitic
+			}
+			for phase != phaseP1Finish && phase != phaseP1Read {
+				env.Yield()
+			}
+			if phase != phaseP1Finish {
+				continue // p2 did not commit this round; read again
+			}
+			if p1HasRead {
+				if rec.Write(env, X, p1Val+1) == stm.OK {
+					if rec.TryCommit(env) == stm.OK {
+						p1Committed = true
+						phase = phaseP1Read
+						return
+					}
+				}
+			}
+			phase = phaseP1Read
+		}
+	})
+	_ = s.Spawn(2, func(env *sim.Env) {
+		for {
+			for phase != phaseP2Try {
+				env.Yield()
+			}
+			v, st := rec.Read(env, X)
+			if st != stm.OK {
+				phase = phaseP1Read
+				continue
+			}
+			if rec.Write(env, X, v+1) != stm.OK {
+				phase = phaseP1Read
+				continue
+			}
+			if rec.TryCommit(env) != stm.OK {
+				phase = phaseP1Read
+				continue
+			}
+			rounds++
+			if cfg.ParasiticP1 {
+				phase = phaseP1Read
+			} else {
+				phase = phaseP1Finish
+			}
+		}
+	})
+
+	for s.Steps() < cfg.MaxSteps && rounds < cfg.Rounds && !p1Committed {
+		if !s.Step() {
+			break
+		}
+	}
+	return result(rec, rounds, p1Committed, s.Steps())
+}
+
+// Lemma1 runs the n-process generalization: processes 1..n-1 each
+// start a transaction with a read and then hold it; process n commits
+// transactions forever; afterwards each holder tries to finish its
+// transaction. At most one process (p_n) makes progress.
+func Lemma1(factory stm.Factory, n int, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rec := stm.NewRecorder(factory(n, 1))
+	s := sim.New(sim.NewSeeded(cfg.Seed))
+	defer s.Close()
+
+	var (
+		holdersReady int
+		holdersDone  int
+		rounds       int
+		anyHolderC   bool
+		finish       bool
+	)
+	for i := 1; i < n; i++ {
+		p := model.Proc(i)
+		_ = s.Spawn(p, func(env *sim.Env) {
+			defer func() { holdersDone++ }()
+			v, st := rec.Read(env, X)
+			holdersReady++
+			for !finish {
+				env.Yield()
+			}
+			if st != stm.OK {
+				return
+			}
+			if rec.Write(env, X, v+1) != stm.OK {
+				return
+			}
+			if rec.TryCommit(env) == stm.OK {
+				anyHolderC = true
+			}
+		})
+	}
+	_ = s.Spawn(model.Proc(n), func(env *sim.Env) {
+		for {
+			for holdersReady < n-1 {
+				env.Yield()
+			}
+			v, st := rec.Read(env, X)
+			if st != stm.OK {
+				continue
+			}
+			if rec.Write(env, X, v+1) != stm.OK {
+				continue
+			}
+			if rec.TryCommit(env) != stm.OK {
+				continue
+			}
+			rounds++
+		}
+	})
+
+	for s.Steps() < cfg.MaxSteps && rounds < cfg.Rounds {
+		if !s.Step() {
+			break
+		}
+	}
+	finish = true
+	for s.Steps() < 2*cfg.MaxSteps && !anyHolderC && holdersDone < n-1 {
+		if !s.Step() {
+			break
+		}
+	}
+	return result(rec, rounds, anyHolderC, s.Steps())
+}
+
+func result(rec *stm.Recorder, rounds int, p1Committed bool, steps int) Result {
+	h := rec.History()
+	return Result{
+		History:     h,
+		Stats:       stm.Summarize(h),
+		Rounds:      rounds,
+		P1Committed: p1Committed,
+		Steps:       steps,
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"livetm/internal/liveness"
+	"livetm/internal/model"
+)
+
+// PropertyLattice samples random lassos and computes the empirical
+// inclusion relation among TM-liveness properties: properties from the
+// paper (local, global, solo progress) and the §7 extensions
+// (k-progress, priority progress). For every non-inclusion it keeps a
+// witness history.
+//
+// Inclusions confirmed on every sample are only evidence, not proof —
+// but each *strict* separation is a theorem (the witness is a concrete
+// history in one property and not the other).
+type PropertyLattice struct {
+	Names []string
+	// Contains[i][j] is false iff some sampled history is in property
+	// i but not in property j.
+	Contains [][]bool
+	// Witness[i][j] is a lasso in i but not j (nil when Contains).
+	Witness [][]*liveness.Lasso
+	Samples int
+}
+
+// BuildPropertyLattice samples `samples` random lassos over three
+// processes (plus the paper's figure histories, which separate
+// several pairs) and returns the inclusion matrix.
+func BuildPropertyLattice(samples int) *PropertyLattice {
+	props := []liveness.Property{
+		liveness.LocalProgress,
+		liveness.KProgress(2),
+		liveness.GlobalProgress, // = 1-progress
+		liveness.SoloProgress,
+		liveness.PriorityProgress(map[model.Proc]int{1: 3, 2: 2, 3: 1}),
+	}
+	names := make([]string, len(props))
+	for i, p := range props {
+		names[i] = p.Name
+	}
+	n := len(props)
+	lat := &PropertyLattice{Names: names, Samples: samples}
+	lat.Contains = make([][]bool, n)
+	lat.Witness = make([][]*liveness.Lasso, n)
+	for i := range lat.Contains {
+		lat.Contains[i] = make([]bool, n)
+		lat.Witness[i] = make([]*liveness.Lasso, n)
+		for j := range lat.Contains[i] {
+			lat.Contains[i][j] = true
+		}
+	}
+
+	consider := func(l *liveness.Lasso) {
+		for i, pi := range props {
+			if !pi.Contains(l) {
+				continue
+			}
+			for j, pj := range props {
+				if i != j && lat.Contains[i][j] && !pj.Contains(l) {
+					lat.Contains[i][j] = false
+					lat.Witness[i][j] = l
+				}
+			}
+		}
+	}
+
+	// The paper's figures first: they separate local/global/solo.
+	for _, l := range []*liveness.Lasso{Fig5(), Fig6(), Fig7(), Fig14()} {
+		consider(l)
+	}
+	// Then a deterministic pseudo-random sweep.
+	state := uint64(0x9e3779b97f4a7c15)
+	for s := 0; s < samples; s++ {
+		var raw []uint8
+		steps := int(state%12) + 2
+		for k := 0; k < steps; k++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			raw = append(raw, uint8(state))
+		}
+		if l := lassoFromBytes(raw); l != nil {
+			consider(l)
+		}
+	}
+	return lat
+}
+
+// lassoFromBytes builds a well-formed lasso from fuzz bytes (the same
+// construction the liveness property tests use).
+func lassoFromBytes(raw []uint8) *liveness.Lasso {
+	split := 0
+	if len(raw) > 0 {
+		split = int(raw[0]) % (len(raw) + 1)
+	}
+	build := func(bs []uint8) model.History {
+		b := model.NewBuilder()
+		for _, c := range bs {
+			p := model.Proc(c%3 + 1)
+			x := model.TVar(c / 3 % 2)
+			v := model.Value(c / 6 % 3)
+			switch c % 5 {
+			case 0:
+				b.Read(p, x, v)
+			case 1:
+				b.Write(p, x, v)
+			case 2:
+				b.Commit(p)
+			case 3:
+				b.CommitAbort(p)
+			case 4:
+				b.ReadAbort(p, x)
+			}
+		}
+		return b.History()
+	}
+	prefix, cycle := build(raw[:split]), build(raw[split:])
+	if len(cycle) == 0 {
+		return nil
+	}
+	l, err := liveness.NewLassoWithProcs(prefix, cycle, []model.Proc{1, 2, 3})
+	if err != nil {
+		return nil
+	}
+	return l
+}
+
+// Format renders the lattice as a matrix: cell (i,j) is "⊆" when every
+// sampled member of i is in j, "×" when a witness separates them.
+func (lat *PropertyLattice) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "⊆?")
+	for _, n := range lat.Names {
+		fmt.Fprintf(&b, " %-12.12s", n)
+	}
+	b.WriteByte('\n')
+	for i, ni := range lat.Names {
+		fmt.Fprintf(&b, "%-18.18s", ni)
+		for j := range lat.Names {
+			cell := "⊆"
+			if i == j {
+				cell = "="
+			} else if !lat.Contains[i][j] {
+				cell = "×"
+			}
+			fmt.Fprintf(&b, " %-12s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(%d random lassos + the paper's figure histories; × = separated by a concrete witness)\n", lat.Samples)
+	return b.String()
+}

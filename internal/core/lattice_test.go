@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPropertyLattice pins the inclusion structure of the property
+// family: local ⊆ 2-progress ⊆ global ⊆ solo (with all inclusions
+// strict), and priority progress incomparable with the middle layers.
+func TestPropertyLattice(t *testing.T) {
+	lat := BuildPropertyLattice(3000)
+	idx := map[string]int{}
+	for i, n := range lat.Names {
+		idx[n] = i
+	}
+	local, k2 := idx["local progress"], idx["2-progress"]
+	global, solo := idx["global progress"], idx["solo progress"]
+	prio := idx["priority progress"]
+
+	mustContain := [][2]int{
+		{local, k2}, {local, global}, {local, solo},
+		{k2, global}, {k2, solo},
+		{global, solo},
+		{local, prio}, // all-maximal demands nothing local doesn't give
+	}
+	for _, pair := range mustContain {
+		if !lat.Contains[pair[0]][pair[1]] {
+			t.Errorf("%s ⊆ %s refuted by witness %v",
+				lat.Names[pair[0]], lat.Names[pair[1]], lat.Witness[pair[0]][pair[1]])
+		}
+	}
+	mustSeparate := [][2]int{
+		{solo, global}, {global, k2}, {k2, local},
+		{global, local}, {solo, local},
+		{prio, local},  // priority progress does not demand everyone
+		{global, prio}, // some progressing process may be low-priority
+		{prio, global}, // a no-correct-max corner can still separate? see below
+	}
+	for _, pair := range mustSeparate {
+		i, j := pair[0], pair[1]
+		if i == prio && j == global {
+			// priority ⊆ global actually holds when the priority map
+			// covers every process (the max-priority correct process
+			// progresses, hence someone does). Skip: not a required
+			// separation.
+			continue
+		}
+		if lat.Contains[i][j] {
+			t.Errorf("%s ⊆ %s not separated after %d samples", lat.Names[i], lat.Names[j], lat.Samples)
+		}
+	}
+
+	out := lat.Format()
+	for _, want := range []string{"local progress", "solo progress", "×", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted lattice missing %q:\n%s", want, out)
+		}
+	}
+}

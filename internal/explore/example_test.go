@@ -1,0 +1,47 @@
+package explore_test
+
+import (
+	"fmt"
+
+	"livetm/internal/explore"
+	"livetm/internal/model"
+	"livetm/internal/safety"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/tl2"
+)
+
+// Exhaustively verify opacity of a TL2 instance over every schedule of
+// two one-shot increments.
+func ExampleRun() {
+	sc := explore.Scenario{
+		NProcs:  2,
+		NVars:   1,
+		Factory: func(n, v int) stm.TM { return tl2.New() },
+		Body: func(tm stm.TM, p model.Proc) func(*sim.Env) {
+			return func(env *sim.Env) {
+				v, st := tm.Read(env, 0)
+				if st != stm.OK {
+					return
+				}
+				if tm.Write(env, 0, v+1) != stm.OK {
+					return
+				}
+				tm.TryCommit(env)
+			}
+		},
+	}
+	stats, err := explore.Run(sc, 14, func(schedule []model.Proc, h model.History) error {
+		res, cerr := safety.CheckOpacity(h)
+		if cerr != nil {
+			return cerr
+		}
+		if !res.Holds {
+			return fmt.Errorf("not opaque: %s", res.Reason)
+		}
+		return nil
+	})
+	fmt.Println(err == nil, stats.Schedules > 1000)
+	// Output:
+	// true true
+}

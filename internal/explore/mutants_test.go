@@ -1,0 +1,268 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+)
+
+// This file is a mutation corpus: each mutant TM contains a classic
+// STM implementation bug, and the model checker must find a schedule
+// exposing it. Together they validate the verification stack — a
+// checker that cannot catch known bugs proves nothing by passing.
+
+// mutantNoValidation is TL2 without commit-time read validation: a
+// transaction can commit against a stale snapshot (lost update).
+type mutantNoValidation struct {
+	clock  uint64
+	value  map[model.TVar]model.Value
+	ver    map[model.TVar]uint64
+	rv     map[model.Proc]uint64
+	reads  map[model.Proc]map[model.TVar]struct{}
+	writes map[model.Proc]map[model.TVar]model.Value
+}
+
+func newMutantNoValidation() *mutantNoValidation {
+	return &mutantNoValidation{
+		value:  map[model.TVar]model.Value{},
+		ver:    map[model.TVar]uint64{},
+		rv:     map[model.Proc]uint64{},
+		reads:  map[model.Proc]map[model.TVar]struct{}{},
+		writes: map[model.Proc]map[model.TVar]model.Value{},
+	}
+}
+
+func (m *mutantNoValidation) Name() string { return "mutant-novalidate" }
+
+func (m *mutantNoValidation) begin(p model.Proc) {
+	if m.writes[p] == nil {
+		m.rv[p] = m.clock
+		m.reads[p] = map[model.TVar]struct{}{}
+		m.writes[p] = map[model.TVar]model.Value{}
+	}
+}
+
+func (m *mutantNoValidation) end(p model.Proc) {
+	delete(m.reads, p)
+	delete(m.writes, p)
+}
+
+func (m *mutantNoValidation) Read(env *sim.Env, x model.TVar) (model.Value, stm.Status) {
+	p := env.Proc()
+	m.begin(p)
+	if v, ok := m.writes[p][x]; ok {
+		env.Yield()
+		return v, stm.OK
+	}
+	env.Yield()
+	if m.ver[x] > m.rv[p] {
+		m.end(p)
+		return 0, stm.Aborted
+	}
+	m.reads[p][x] = struct{}{}
+	return m.value[x], stm.OK
+}
+
+func (m *mutantNoValidation) Write(env *sim.Env, x model.TVar, v model.Value) stm.Status {
+	p := env.Proc()
+	m.begin(p)
+	env.Yield()
+	m.writes[p][x] = v
+	return stm.OK
+}
+
+func (m *mutantNoValidation) TryCommit(env *sim.Env) stm.Status {
+	p := env.Proc()
+	m.begin(p)
+	env.Yield()
+	// BUG: no read-set validation before publishing.
+	m.clock++
+	for x, v := range m.writes[p] {
+		m.value[x] = v
+		m.ver[x] = m.clock
+	}
+	m.end(p)
+	return stm.OK
+}
+
+// mutantNoUndo is an encounter-time TM that forgets to roll back its
+// in-place writes on abort: aborted writes stay visible.
+type mutantNoUndo struct {
+	value map[model.TVar]model.Value
+	owner map[model.TVar]model.Proc
+	mine  map[model.Proc][]model.TVar
+}
+
+func newMutantNoUndo() *mutantNoUndo {
+	return &mutantNoUndo{
+		value: map[model.TVar]model.Value{},
+		owner: map[model.TVar]model.Proc{},
+		mine:  map[model.Proc][]model.TVar{},
+	}
+}
+
+func (m *mutantNoUndo) Name() string { return "mutant-noundo" }
+
+func (m *mutantNoUndo) release(p model.Proc) {
+	for _, x := range m.mine[p] {
+		if m.owner[x] == p {
+			delete(m.owner, x)
+		}
+	}
+	delete(m.mine, p)
+}
+
+func (m *mutantNoUndo) Read(env *sim.Env, x model.TVar) (model.Value, stm.Status) {
+	p := env.Proc()
+	env.Yield()
+	if o, held := m.owner[x]; held && o != p {
+		m.release(p) // BUG: releases locks but does not restore values
+		return 0, stm.Aborted
+	}
+	return m.value[x], stm.OK
+}
+
+func (m *mutantNoUndo) Write(env *sim.Env, x model.TVar, v model.Value) stm.Status {
+	p := env.Proc()
+	env.Yield()
+	if o, held := m.owner[x]; held && o != p {
+		m.release(p)
+		return stm.Aborted
+	}
+	if m.owner[x] != p {
+		m.owner[x] = p
+		m.mine[p] = append(m.mine[p], x)
+	}
+	m.value[x] = v // write-through, no undo image
+	return stm.OK
+}
+
+func (m *mutantNoUndo) TryCommit(env *sim.Env) stm.Status {
+	p := env.Proc()
+	env.Yield()
+	m.release(p)
+	return stm.OK
+}
+
+// mutantSnapshotless is a deferred-update TM whose reads never
+// validate against each other: two reads in one transaction can span
+// a concurrent commit (the Figure 4 anomaly).
+type mutantSnapshotless struct {
+	value  map[model.TVar]model.Value
+	writes map[model.Proc]map[model.TVar]model.Value
+}
+
+func newMutantSnapshotless() *mutantSnapshotless {
+	return &mutantSnapshotless{
+		value:  map[model.TVar]model.Value{},
+		writes: map[model.Proc]map[model.TVar]model.Value{},
+	}
+}
+
+func (m *mutantSnapshotless) Name() string { return "mutant-snapshotless" }
+
+func (m *mutantSnapshotless) Read(env *sim.Env, x model.TVar) (model.Value, stm.Status) {
+	env.Yield()
+	if w := m.writes[env.Proc()]; w != nil {
+		if v, ok := w[x]; ok {
+			return v, stm.OK
+		}
+	}
+	return m.value[x], stm.OK // BUG: no snapshot discipline at all
+}
+
+func (m *mutantSnapshotless) Write(env *sim.Env, x model.TVar, v model.Value) stm.Status {
+	p := env.Proc()
+	env.Yield()
+	if m.writes[p] == nil {
+		m.writes[p] = map[model.TVar]model.Value{}
+	}
+	m.writes[p][x] = v
+	return stm.OK
+}
+
+func (m *mutantSnapshotless) TryCommit(env *sim.Env) stm.Status {
+	p := env.Proc()
+	env.Yield()
+	for x, v := range m.writes[p] {
+		m.value[x] = v
+	}
+	delete(m.writes, p)
+	return stm.OK
+}
+
+// TestMutantsCaught: the model checker must find a violating schedule
+// for every mutant.
+func TestMutantsCaught(t *testing.T) {
+	tests := []struct {
+		name    string
+		factory stm.Factory
+		body    func(tm stm.TM, p model.Proc) func(*sim.Env)
+		depth   int
+	}{
+		{
+			name:    "no-validation loses updates",
+			factory: func(n, v int) stm.TM { return newMutantNoValidation() },
+			body:    oneShotIncrement,
+			depth:   14,
+		},
+		{
+			name:    "no-undo exposes aborted writes",
+			factory: func(n, v int) stm.TM { return newMutantNoUndo() },
+			body: func(tm stm.TM, p model.Proc) func(*sim.Env) {
+				return func(env *sim.Env) {
+					if p == 1 {
+						// Write x0 then conflict on x1 so the
+						// transaction aborts after its in-place write.
+						if tm.Write(env, 0, 7) != stm.OK {
+							return
+						}
+						tm.Write(env, 1, 1)
+						return // leave live or aborted; 7 may linger
+					}
+					// p2 holds x1 to force p1's abort, then reads x0.
+					if tm.Write(env, 1, 2) != stm.OK {
+						return
+					}
+					tm.Read(env, 0)
+					tm.TryCommit(env)
+				}
+			},
+			depth: 12,
+		},
+		{
+			name:    "snapshotless mixes states",
+			factory: func(n, v int) stm.TM { return newMutantSnapshotless() },
+			body: func(tm stm.TM, p model.Proc) func(*sim.Env) {
+				return func(env *sim.Env) {
+					if p == 1 {
+						// Read x0 twice around p2's commit.
+						tm.Read(env, 0)
+						tm.Read(env, 0)
+						tm.TryCommit(env)
+						return
+					}
+					tm.Write(env, 0, 5)
+					tm.TryCommit(env)
+				}
+			},
+			depth: 12,
+		},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			sc := Scenario{NProcs: 2, NVars: 2, Factory: tt.factory, Body: tt.body}
+			_, err := Run(sc, tt.depth, opacityCheck)
+			var serr *ScheduleError
+			if !errors.As(err, &serr) {
+				t.Fatalf("mutant was not caught; err = %v", err)
+			}
+			t.Logf("caught with schedule %v: %v", serr.Schedule, serr.Err)
+		})
+	}
+}

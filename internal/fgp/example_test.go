@@ -1,0 +1,37 @@
+package fgp_test
+
+import (
+	"fmt"
+
+	"livetm/internal/fgp"
+)
+
+// Drive the paper's Fgp automaton (§6) as a runtime TM: the first
+// committer of a concurrent group wins, the others are aborted once
+// and then proceed.
+func ExampleEngine() {
+	eng, _ := fgp.NewEngine(2, 1, fgp.Corrected)
+
+	v, _, _ := eng.Read(1, 0)
+	fmt.Println("p1 reads", v)
+	_, _ = eng.Write(1, 0, 7)
+
+	_, _, _ = eng.Read(2, 0) // p2 joins the concurrent group
+
+	ok, _ := eng.TryCommit(1)
+	fmt.Println("p1 commits:", ok)
+
+	_, ok, _ = eng.Read(2, 0) // p2 was demoted: aborted once
+	fmt.Println("p2 aborted:", !ok)
+
+	v, _, _ = eng.Read(2, 0) // retry sees the committed value
+	fmt.Println("p2 reads", v)
+	ok, _ = eng.TryCommit(2)
+	fmt.Println("p2 commits:", ok)
+	// Output:
+	// p1 reads 0
+	// p1 commits: true
+	// p2 aborted: true
+	// p2 reads 7
+	// p2 commits: true
+}

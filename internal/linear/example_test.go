@@ -1,0 +1,25 @@
+package linear_test
+
+import (
+	"fmt"
+
+	"livetm/internal/linear"
+)
+
+// A FIFO violation: dequeuing 2 while 1 is still at the head.
+func ExampleCheck() {
+	ops := []linear.Op{
+		{Proc: 1, Name: "enqueue", Arg: 1, OK: true, Start: 1, End: 2},
+		{Proc: 1, Name: "enqueue", Arg: 2, OK: true, Start: 3, End: 4},
+		{Proc: 2, Name: "dequeue", Ret: 2, OK: true, Start: 5, End: 6},
+	}
+	res, _ := linear.Check(linear.QueueSpec{}, ops)
+	fmt.Println("linearizable:", res.Holds)
+
+	ops[2].Ret = 1
+	res, _ = linear.Check(linear.QueueSpec{}, ops)
+	fmt.Println("with the FIFO head:", res.Holds)
+	// Output:
+	// linearizable: false
+	// with the FIFO head: true
+}

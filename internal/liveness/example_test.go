@@ -1,0 +1,50 @@
+package liveness_test
+
+import (
+	"fmt"
+
+	"livetm/internal/liveness"
+	"livetm/internal/model"
+)
+
+// The paper's Figure 6: p1 commits forever, p2 aborts forever —
+// global but not local progress.
+func ExampleLasso() {
+	cycle := model.NewBuilder().
+		Read(1, 0, 0).Write(1, 0, 1).Commit(1).
+		Read(2, 0, 1).Write(2, 0, 0).CommitAbort(2).
+		History()
+	l, _ := liveness.NewLasso(nil, cycle)
+	fmt.Println("p1 progresses:", l.MakesProgress(1))
+	fmt.Println("p2 starving:", l.Starving(2))
+	fmt.Println("local:", liveness.LocalProgress.Contains(l))
+	fmt.Println("global:", liveness.GlobalProgress.Contains(l))
+	// Output:
+	// p1 progresses: true
+	// p2 starving: true
+	// local: false
+	// global: true
+}
+
+// A crashed process has events in the prefix but none in the cycle.
+func ExampleLasso_Crashes() {
+	prefix := model.NewBuilder().Read(1, 0, 0).History()
+	cycle := model.NewBuilder().Read(2, 0, 0).Commit(2).History()
+	l, _ := liveness.NewLasso(prefix, cycle)
+	fmt.Println(l.Crashes(1), l.Crashes(2))
+	// Output:
+	// true false
+}
+
+// KProgress interpolates between global (k=1) and local (k=n)
+// progress.
+func ExampleKProgress() {
+	cycle := model.NewBuilder().
+		Read(1, 0, 0).Commit(1).
+		ReadAbort(2, 0).
+		History()
+	l, _ := liveness.NewLasso(nil, cycle)
+	fmt.Println(liveness.KProgress(1).Contains(l), liveness.KProgress(2).Contains(l))
+	// Output:
+	// true false
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// eventJSON is the wire form of an Event. Kind uses the conventional
+// short names so trace files are self-describing and diff-friendly.
+type eventJSON struct {
+	Proc int    `json:"proc"`
+	Kind string `json:"kind"`
+	Var  *int   `json:"var,omitempty"`
+	Val  *int64 `json:"val,omitempty"`
+}
+
+var kindNames = map[Kind]string{
+	InvRead:      "read",
+	InvWrite:     "write",
+	InvTryCommit: "tryC",
+	RespValue:    "val",
+	RespOK:       "ok",
+	RespCommit:   "C",
+	RespAbort:    "A",
+}
+
+var kindsByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	name, ok := kindNames[e.Kind]
+	if !ok {
+		return nil, fmt.Errorf("model: cannot encode event with kind %d", int(e.Kind))
+	}
+	ej := eventJSON{Proc: int(e.Proc), Kind: name}
+	switch e.Kind {
+	case InvRead:
+		x := int(e.Var)
+		ej.Var = &x
+	case InvWrite:
+		x, v := int(e.Var), int64(e.Val)
+		ej.Var, ej.Val = &x, &v
+	case RespValue:
+		v := int64(e.Val)
+		ej.Val = &v
+	}
+	return json.Marshal(ej)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var ej eventJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return err
+	}
+	kind, ok := kindsByName[ej.Kind]
+	if !ok {
+		return fmt.Errorf("model: unknown event kind %q", ej.Kind)
+	}
+	if ej.Proc <= 0 {
+		return fmt.Errorf("model: event has non-positive process id %d", ej.Proc)
+	}
+	ev := Event{Proc: Proc(ej.Proc), Kind: kind}
+	switch kind {
+	case InvRead:
+		if ej.Var == nil {
+			return fmt.Errorf("model: read event missing var")
+		}
+		ev.Var = TVar(*ej.Var)
+	case InvWrite:
+		if ej.Var == nil || ej.Val == nil {
+			return fmt.Errorf("model: write event missing var or val")
+		}
+		ev.Var, ev.Val = TVar(*ej.Var), Value(*ej.Val)
+	case RespValue:
+		if ej.Val == nil {
+			return fmt.Errorf("model: value response missing val")
+		}
+		ev.Val = Value(*ej.Val)
+	}
+	*e = ev
+	return nil
+}
+
+// WriteTrace writes the history as JSON Lines: one event object per
+// line, streamable and appendable.
+func WriteTrace(w io.Writer, h History) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range h {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("model: encode event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace reads a JSON Lines trace written by WriteTrace.
+func ReadTrace(r io.Reader) (History, error) {
+	dec := json.NewDecoder(r)
+	var h History
+	for i := 0; ; i++ {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return h, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("model: decode event %d: %w", i, err)
+		}
+		h = append(h, e)
+	}
+}
+
+// SaveTrace writes the history to a file.
+func SaveTrace(path string, h History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+	if err := WriteTrace(f, h); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a history from a file written by SaveTrace.
+func LoadTrace(path string) (History, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

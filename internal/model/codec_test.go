@@ -1,0 +1,154 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		Read(1, 0),
+		Write(2, 3, -5),
+		TryCommit(3),
+		ValueResp(1, 42),
+		OK(2),
+		Commit(1),
+		Abort(3),
+	}
+	for _, e := range events {
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		var back Event
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if back != e {
+			t.Errorf("round trip %v -> %s -> %v", e, data, back)
+		}
+	}
+}
+
+func TestEventJSONEncoding(t *testing.T) {
+	data, err := json.Marshal(Write(2, 1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"proc":2`, `"kind":"write"`, `"var":1`, `"val":7`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("encoding %s missing %s", s, want)
+		}
+	}
+	// Responses without payloads omit var/val.
+	data, _ = json.Marshal(Commit(1))
+	if strings.Contains(string(data), "var") || strings.Contains(string(data), "val") {
+		t.Errorf("commit encoding should omit var/val: %s", data)
+	}
+}
+
+func TestEventJSONRejectsBad(t *testing.T) {
+	bad := []string{
+		`{"proc":1,"kind":"nope"}`,
+		`{"proc":0,"kind":"read","var":0}`,
+		`{"proc":1,"kind":"read"}`,          // missing var
+		`{"proc":1,"kind":"write","var":0}`, // missing val
+		`{"proc":1,"kind":"val"}`,           // missing val
+		`[1,2,3]`,
+	}
+	for _, s := range bad {
+		var e Event
+		if err := json.Unmarshal([]byte(s), &e); err == nil {
+			t.Errorf("unmarshal %s should fail", s)
+		}
+	}
+}
+
+func TestEventMarshalRejectsUnknownKind(t *testing.T) {
+	if _, err := json.Marshal(Event{Proc: 1, Kind: Kind(99)}); err == nil {
+		t.Error("marshaling an unknown kind must fail")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	h := NewBuilder().
+		Read(1, 0, 0).Write(1, 0, 5).Commit(1).
+		Read(2, 0, 5).CommitAbort(2).
+		Raw(Read(3, 1)).
+		History()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(h) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(h))
+	}
+	for i := range h {
+		if back[i] != h[i] {
+			t.Errorf("event %d: %v != %v", i, back[i], h[i])
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	h := NewBuilder().Read(1, 0, 0).Commit(1).History()
+	if err := SaveTrace(path, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equivalent(h) || len(back) != len(h) {
+		t.Errorf("file round trip mismatch: %v vs %v", back, h)
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestReadTraceGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage must error")
+	}
+}
+
+// Property: every well-formed history round-trips through the codec.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := wellFormedHistory(raw)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, h); err != nil {
+			return false
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(h) {
+			return false
+		}
+		for i := range h {
+			if back[i] != h[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package model_test
+
+import (
+	"fmt"
+
+	"livetm/internal/model"
+)
+
+// Build Figure 1's history with the fluent builder, then raw events
+// for the interleaved operations.
+func ExampleBuilder() {
+	h := model.NewBuilder().
+		Read(1, 0, 0).
+		Read(2, 0, 0).Write(2, 0, 1).Commit(2).
+		WriteAbort(1, 0, 1).
+		History()
+	fmt.Println(len(h), "events")
+	fmt.Println(h.Projection(2))
+	// Output:
+	// 10 events
+	// x0.read_2 0_2 x0.write_2(1) ok_2 tryC_2 C_2
+}
+
+func ExampleTransactions() {
+	h := model.NewBuilder().
+		Read(1, 0, 0).Write(1, 0, 1).Commit(1).
+		Read(2, 0, 1).CommitAbort(2).
+		History()
+	txns, _ := model.Transactions(h)
+	for _, t := range txns {
+		fmt.Println(t)
+	}
+	// Output:
+	// T1.0[r(x0)->0 w(x0,1) tryC]:committed
+	// T2.0[r(x0)->1 tryC!A]:aborted
+}
+
+func ExampleComplete() {
+	h := model.History{model.Read(1, 0), model.ValueResp(1, 0), model.Write(1, 0, 5)}
+	com := model.Complete(h)
+	txns, _ := model.Transactions(com)
+	fmt.Println(txns[0].Status)
+	// Output:
+	// aborted
+}
+
+func ExampleLegalSequence() {
+	h := model.NewBuilder().
+		Write(1, 0, 7).Commit(1).
+		Read(2, 0, 7).Commit(2).
+		History()
+	txns, _ := model.Transactions(h)
+	fmt.Println(model.LegalSequence(txns) == nil)
+	// Output:
+	// true
+}

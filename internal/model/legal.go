@@ -1,0 +1,103 @@
+package model
+
+import "fmt"
+
+// InitialValue is the value every t-variable holds before any
+// transaction commits. The paper's automaton Fgp and all of its example
+// histories start t-variables at 0.
+const InitialValue Value = 0
+
+// Snapshot is the committed state of the t-variables at a point of a
+// sequential history: the value each t-variable would return to a
+// freshly started transaction. Missing variables hold InitialValue.
+type Snapshot map[TVar]Value
+
+// Get returns the value of x, defaulting to InitialValue.
+func (s Snapshot) Get(x TVar) Value {
+	if v, ok := s[x]; ok {
+		return v
+	}
+	return InitialValue
+}
+
+// Clone returns a copy of the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	out := make(Snapshot, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Apply installs the write set of a committed transaction.
+func (s Snapshot) Apply(writes map[TVar]Value) {
+	for x, v := range writes {
+		s[x] = v
+	}
+}
+
+// IllegalReadError reports the first read that violates the semantics
+// of its t-variable in a candidate sequential history.
+type IllegalReadError struct {
+	Txn      string // transaction ID
+	Var      TVar
+	Got      Value // value the read returned in the history
+	Expected Value // value the t-variable held at that point
+}
+
+func (e *IllegalReadError) Error() string {
+	return fmt.Sprintf("transaction %s: read of x%d returned %d but the t-variable held %d",
+		e.Txn, e.Var, e.Got, e.Expected)
+}
+
+// LegalInState checks the transaction's reads against the committed
+// snapshot it starts from, honoring reads of the transaction's own
+// earlier writes. It returns nil when every completed read respects the
+// semantics of its t-variable.
+//
+// This is the per-transaction core of the paper's legality definition:
+// for every response v_k in the transaction, v is the value of the
+// previous write to x within the transaction, or the value of x when
+// the transaction starts.
+func LegalInState(t *Transaction, start Snapshot) error {
+	local := make(map[TVar]Value)
+	for _, op := range t.Ops {
+		if op.Aborted {
+			// An op answered with an abort returns no value; there is
+			// nothing to validate, and no later op exists.
+			break
+		}
+		switch op.Kind {
+		case OpRead:
+			expected, wroteLocally := local[op.Var]
+			if !wroteLocally {
+				expected = start.Get(op.Var)
+			}
+			if op.Val != expected {
+				return &IllegalReadError{Txn: t.ID(), Var: op.Var, Got: op.Val, Expected: expected}
+			}
+		case OpWrite:
+			local[op.Var] = op.Val
+		}
+	}
+	return nil
+}
+
+// LegalSequence checks that every transaction in the given order is
+// legal when the transactions are executed sequentially in that order
+// from the initial state: each transaction sees the writes of the
+// committed transactions placed before it (its visible(T) in the
+// paper's terms, with aborted transactions' writes discarded), plus its
+// own earlier writes. It returns nil when the whole order is legal.
+func LegalSequence(order []*Transaction) error {
+	state := make(Snapshot)
+	for _, t := range order {
+		if err := LegalInState(t, state); err != nil {
+			return err
+		}
+		if t.Status == Committed {
+			state.Apply(t.WriteSet())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package native
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTL2ReadValidationAborts drives the read-side abort paths
+// directly: a transaction that started before a concurrent commit must
+// not observe the newer version.
+func TestTL2ReadValidationAborts(t *testing.T) {
+	tm, err := NewTL2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	err = tm.Atomically(func(tx Txn) error {
+		attempts++
+		if _, err := tx.Read(1); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			// Concurrently commit to variable 0 from another
+			// transaction, bumping the clock past this txn's rv.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = tm.Atomically(func(tx2 Txn) error {
+					return tx2.Write(0, 5)
+				})
+			}()
+			<-done
+		}
+		// First attempt: version of variable 0 is now newer than rv —
+		// the read must abort and Atomically must retry.
+		_, err := tx.Read(0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Errorf("attempts = %d; the stale first attempt must have retried", attempts)
+	}
+}
+
+// TestTL2WriteConflictRetries: two goroutines hammering overlapping
+// write sets with read dependencies; commit-time lock conflicts force
+// retries but both finish.
+func TestTL2WriteConflictRetries(t *testing.T) {
+	tm, err := NewTL2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_ = tm.Atomically(func(tx Txn) error {
+					// Overlapping ascending and descending write sets
+					// maximize lock-order contention.
+					a, b := g%4, (g+1)%4
+					va, err := tx.Read(a)
+					if err != nil {
+						return err
+					}
+					vb, err := tx.Read(b)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(a, va+1); err != nil {
+						return err
+					}
+					return tx.Write(b, vb+1)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	_ = tm.Atomically(func(tx Txn) error {
+		total = 0
+		for i := 0; i < 4; i++ {
+			v, err := tx.Read(i)
+			if err != nil {
+				return err
+			}
+			total += v
+		}
+		return nil
+	})
+	if total != 4*300*2 {
+		t.Fatalf("total = %d, want %d", total, 4*300*2)
+	}
+}
+
+// TestTL2ReadOwnBufferedWrite covers the write-buffer fast path.
+func TestTL2ReadOwnBufferedWrite(t *testing.T) {
+	tm, _ := NewTL2(1)
+	err := tm.Atomically(func(tx Txn) error {
+		if err := tx.Write(0, 3); err != nil {
+			return err
+		}
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		if v != 3 {
+			t.Errorf("buffered read = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

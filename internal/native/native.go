@@ -1,0 +1,246 @@
+// Package native provides a real-concurrency counterpart to the
+// simulated STMs: a TL2-style STM built on sync/atomic and a
+// global-mutex baseline, both behind one transactional API. It exists
+// for the paper's footnote-1 argument — resilient (nonblocking) TMs
+// are motivated by scalability on real parallel hardware — which the
+// cooperative simulator cannot measure. The wall-clock benchmarks in
+// bench_test.go run both across goroutines on real cores.
+//
+// The simulated STMs (internal/stm/...) remain the vehicles for the
+// liveness experiments; this package is deliberately minimal: a fixed
+// t-variable set, int64 values, and a retry-loop API.
+package native
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrAborted is returned by transaction operations when the current
+// attempt must be retried. Atomically handles it internally; bodies
+// only see it if they inspect operation errors.
+var ErrAborted = errors.New("native: transaction aborted")
+
+// TM is a transactional memory over a fixed array of int64
+// t-variables.
+type TM interface {
+	// Name identifies the implementation.
+	Name() string
+	// Atomically runs fn as a transaction, retrying on aborts until
+	// it commits. fn must be idempotent across retries and must stop
+	// (return) when an operation reports an error.
+	Atomically(fn func(Txn) error) error
+	// Vars returns the number of t-variables.
+	Vars() int
+}
+
+// Txn is the per-attempt handle.
+type Txn interface {
+	// Read returns the value of variable i, or ErrAborted.
+	Read(i int) (int64, error)
+	// Write buffers v into variable i, or returns ErrAborted.
+	Write(i int, v int64) error
+}
+
+// --- TL2 on sync/atomic ---
+
+// Versioned lock word layout: version<<1 | lockbit.
+type vlock struct {
+	word  atomic.Uint64
+	value atomic.Int64
+	// pad the record to a cache line to avoid false sharing between
+	// adjacent t-variables in the scalability benchmarks.
+	_ [5]uint64
+}
+
+// TL2 is a TL2-style STM: global version clock, invisible reads
+// validated against a read version, commit-time locking in variable
+// order.
+type TL2 struct {
+	clock atomic.Uint64
+	vars  []vlock
+}
+
+var _ TM = (*TL2)(nil)
+
+// NewTL2 returns an instance with n t-variables initialized to 0.
+func NewTL2(n int) (*TL2, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("native: need a positive variable count, got %d", n)
+	}
+	return &TL2{vars: make([]vlock, n)}, nil
+}
+
+// Name implements TM.
+func (t *TL2) Name() string { return "native-tl2" }
+
+// Vars implements TM.
+func (t *TL2) Vars() int { return len(t.vars) }
+
+type tl2Txn struct {
+	tm     *TL2
+	rv     uint64
+	reads  []int
+	writes map[int]int64
+	order  []int
+	dead   bool
+}
+
+// Atomically implements TM.
+func (t *TL2) Atomically(fn func(Txn) error) error {
+	for {
+		tx := &tl2Txn{tm: t, rv: t.clock.Load(), writes: make(map[int]int64)}
+		err := fn(tx)
+		if tx.dead || errors.Is(err, ErrAborted) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if tx.commit() {
+			return nil
+		}
+	}
+}
+
+func (tx *tl2Txn) Read(i int) (int64, error) {
+	if tx.dead {
+		return 0, ErrAborted
+	}
+	if v, ok := tx.writes[i]; ok {
+		return v, nil
+	}
+	if i < 0 || i >= len(tx.tm.vars) {
+		return 0, fmt.Errorf("native: variable %d out of range", i)
+	}
+	r := &tx.tm.vars[i]
+	w1 := r.word.Load()
+	if w1&1 == 1 || w1>>1 > tx.rv {
+		tx.dead = true
+		return 0, ErrAborted
+	}
+	v := r.value.Load()
+	if r.word.Load() != w1 {
+		tx.dead = true
+		return 0, ErrAborted
+	}
+	tx.reads = append(tx.reads, i)
+	return v, nil
+}
+
+func (tx *tl2Txn) Write(i int, v int64) error {
+	if tx.dead {
+		return ErrAborted
+	}
+	if i < 0 || i >= len(tx.tm.vars) {
+		return fmt.Errorf("native: variable %d out of range", i)
+	}
+	if _, ok := tx.writes[i]; !ok {
+		tx.order = append(tx.order, i)
+	}
+	tx.writes[i] = v
+	return nil
+}
+
+func (tx *tl2Txn) commit() bool {
+	if len(tx.writes) == 0 {
+		return true // reads already validated against rv
+	}
+	sortInts(tx.order)
+	acquired := 0
+	release := func() {
+		for _, i := range tx.order[:acquired] {
+			r := &tx.tm.vars[i]
+			r.word.Store(r.word.Load() &^ 1)
+		}
+	}
+	for _, i := range tx.order {
+		r := &tx.tm.vars[i]
+		w := r.word.Load()
+		if w&1 == 1 || w>>1 > tx.rv {
+			release()
+			return false
+		}
+		if !r.word.CompareAndSwap(w, w|1) {
+			release()
+			return false
+		}
+		acquired++
+	}
+	for _, i := range tx.reads {
+		if _, mine := tx.writes[i]; mine {
+			continue
+		}
+		w := tx.tm.vars[i].word.Load()
+		if w&1 == 1 || w>>1 > tx.rv {
+			release()
+			return false
+		}
+	}
+	wv := tx.tm.clock.Add(1)
+	for _, i := range tx.order {
+		r := &tx.tm.vars[i]
+		r.value.Store(tx.writes[i])
+		r.word.Store(wv << 1) // new version, unlocked
+	}
+	return true
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// --- Global mutex baseline ---
+
+// Mutex is the coarse-grained baseline: every transaction runs under
+// one sync.Mutex. It never aborts.
+type Mutex struct {
+	mu   sync.Mutex
+	vals []int64
+}
+
+var _ TM = (*Mutex)(nil)
+
+// NewMutex returns an instance with n t-variables initialized to 0.
+func NewMutex(n int) (*Mutex, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("native: need a positive variable count, got %d", n)
+	}
+	return &Mutex{vals: make([]int64, n)}, nil
+}
+
+// Name implements TM.
+func (m *Mutex) Name() string { return "native-mutex" }
+
+// Vars implements TM.
+func (m *Mutex) Vars() int { return len(m.vals) }
+
+type mutexTxn struct{ m *Mutex }
+
+// Atomically implements TM.
+func (m *Mutex) Atomically(fn func(Txn) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fn(mutexTxn{m: m})
+}
+
+func (tx mutexTxn) Read(i int) (int64, error) {
+	if i < 0 || i >= len(tx.m.vals) {
+		return 0, fmt.Errorf("native: variable %d out of range", i)
+	}
+	return tx.m.vals[i], nil
+}
+
+func (tx mutexTxn) Write(i int, v int64) error {
+	if i < 0 || i >= len(tx.m.vals) {
+		return fmt.Errorf("native: variable %d out of range", i)
+	}
+	tx.m.vals[i] = v
+	return nil
+}

@@ -1,0 +1,228 @@
+package native
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func both(t *testing.T, n int) []TM {
+	t.Helper()
+	tl2, err := NewTL2(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := NewMutex(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []TM{tl2, mu}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewTL2(0); err == nil {
+		t.Error("NewTL2(0) must fail")
+	}
+	if _, err := NewMutex(-1); err == nil {
+		t.Error("NewMutex(-1) must fail")
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for _, tm := range both(t, 4) {
+		t.Run(tm.Name(), func(t *testing.T) {
+			err := tm.Atomically(func(tx Txn) error {
+				v, err := tx.Read(0)
+				if err != nil {
+					return err
+				}
+				if v != 0 {
+					return fmt.Errorf("initial value = %d", v)
+				}
+				if err := tx.Write(0, 7); err != nil {
+					return err
+				}
+				v, err = tx.Read(0)
+				if err != nil {
+					return err
+				}
+				if v != 7 {
+					return fmt.Errorf("read own write = %d", v)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got int64
+			err = tm.Atomically(func(tx Txn) error {
+				var err error
+				got, err = tx.Read(0)
+				return err
+			})
+			if err != nil || got != 7 {
+				t.Fatalf("committed value = %d, %v", got, err)
+			}
+			if tm.Vars() != 4 {
+				t.Errorf("Vars = %d", tm.Vars())
+			}
+		})
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	for _, tm := range both(t, 2) {
+		err := tm.Atomically(func(tx Txn) error {
+			_, err := tx.Read(5)
+			return err
+		})
+		if err == nil || errors.Is(err, ErrAborted) {
+			t.Errorf("%s: out-of-range read error = %v", tm.Name(), err)
+		}
+		err = tm.Atomically(func(tx Txn) error {
+			return tx.Write(-1, 0)
+		})
+		if err == nil {
+			t.Errorf("%s: out-of-range write must error", tm.Name())
+		}
+	}
+}
+
+// TestConcurrentCounter: G goroutines × K increments each; the final
+// count must be exact. Run with -race.
+func TestConcurrentCounter(t *testing.T) {
+	const goroutines, each = 8, 200
+	for _, tm := range both(t, 1) {
+		t.Run(tm.Name(), func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						err := tm.Atomically(func(tx Txn) error {
+							v, err := tx.Read(0)
+							if err != nil {
+								return err
+							}
+							return tx.Write(0, v+1)
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			var got int64
+			_ = tm.Atomically(func(tx Txn) error {
+				var err error
+				got, err = tx.Read(0)
+				return err
+			})
+			if got != goroutines*each {
+				t.Fatalf("counter = %d, want %d", got, goroutines*each)
+			}
+		})
+	}
+}
+
+// TestConcurrentBankConservation: transfers between 8 accounts while
+// auditors sum them; every audit must see the conserved total (the
+// snapshot guarantee under real concurrency).
+func TestConcurrentBankConservation(t *testing.T) {
+	const accounts, initial = 8, 1000
+	for _, tm := range both(t, accounts) {
+		t.Run(tm.Name(), func(t *testing.T) {
+			err := tm.Atomically(func(tx Txn) error {
+				for i := 0; i < accounts; i++ {
+					if err := tx.Write(i, initial); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					state := seed | 1
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						state ^= state << 13
+						state ^= state >> 7
+						state ^= state << 17
+						from := int(state % accounts)
+						to := int((state >> 8) % accounts)
+						_ = tm.Atomically(func(tx Txn) error {
+							fv, err := tx.Read(from)
+							if err != nil {
+								return err
+							}
+							tv, err := tx.Read(to)
+							if err != nil {
+								return err
+							}
+							if err := tx.Write(from, fv-1); err != nil {
+								return err
+							}
+							return tx.Write(to, tv+1)
+						})
+					}
+				}(uint64(g + 1))
+			}
+			for audit := 0; audit < 200; audit++ {
+				var total int64
+				err := tm.Atomically(func(tx Txn) error {
+					total = 0
+					for i := 0; i < accounts; i++ {
+						v, err := tx.Read(i)
+						if err != nil {
+							return err
+						}
+						total += v
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if total != accounts*initial {
+					t.Fatalf("audit %d: total = %d, want %d", audit, total, accounts*initial)
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestBodyErrorPropagates: a non-abort error from the body is
+// returned, not retried.
+func TestBodyErrorPropagates(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	for _, tm := range both(t, 1) {
+		calls := 0
+		err := tm.Atomically(func(tx Txn) error {
+			calls++
+			return sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("%s: err = %v", tm.Name(), err)
+		}
+		if calls != 1 {
+			t.Errorf("%s: body ran %d times, want 1", tm.Name(), calls)
+		}
+	}
+}

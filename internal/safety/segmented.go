@@ -1,0 +1,184 @@
+package safety
+
+import (
+	"errors"
+	"fmt"
+
+	"livetm/internal/model"
+)
+
+// The monolithic checker is exponential in the number of transactions,
+// which caps it at small histories. Long histories from the simulator,
+// however, usually have *quiescent cuts*: moments where no transaction
+// is live. Transactions entirely before a cut precede (in real time)
+// all transactions entirely after it, so every real-time-preserving
+// serialization is a serialization of the first part followed by one
+// of the second — the parts only communicate through the committed
+// snapshot. CheckOpacitySegmented exploits this: it splits the history
+// at quiescent cuts into segments of bounded size and propagates the
+// set of feasible committed snapshots across segments.
+//
+// This is sound and complete: it accepts exactly the opaque histories
+// among those it can segment. Histories with no suitable cuts (a
+// transaction spanning everything) fall back to the caller's choice.
+
+// ErrNoQuiescentCut is returned when the history cannot be split into
+// segments of the requested size.
+var ErrNoQuiescentCut = errors.New("safety: no quiescent cut within the segment budget")
+
+// SegmentedResult reports the outcome of a segmented opacity check.
+type SegmentedResult struct {
+	Holds    bool
+	Segments int
+	// Reason explains the violation (the failing segment) when Holds
+	// is false.
+	Reason string
+}
+
+// CheckOpacitySegmented decides opacity of a (possibly long) history
+// by splitting it at quiescent cuts into segments of at most
+// maxTxnsPerSegment transactions each.
+func CheckOpacitySegmented(h model.History, maxTxnsPerSegment int) (SegmentedResult, error) {
+	if maxTxnsPerSegment <= 0 || maxTxnsPerSegment > 64 {
+		return SegmentedResult{}, fmt.Errorf("safety: segment budget %d out of range [1,64]", maxTxnsPerSegment)
+	}
+	txns, err := model.Transactions(h)
+	if err != nil {
+		return SegmentedResult{}, fmt.Errorf("segmented opacity: %w", err)
+	}
+	if len(txns) == 0 {
+		return SegmentedResult{Holds: true, Segments: 0}, nil
+	}
+
+	segments, err := segment(txns, maxTxnsPerSegment)
+	if err != nil {
+		return SegmentedResult{}, err
+	}
+
+	// Propagate the feasible committed snapshots segment by segment.
+	states := []model.Snapshot{make(model.Snapshot)}
+	for i, seg := range segments {
+		next, err := feasibleFinals(seg, states)
+		if err != nil {
+			return SegmentedResult{}, err
+		}
+		if len(next) == 0 {
+			return SegmentedResult{
+				Holds:    false,
+				Segments: len(segments),
+				Reason:   fmt.Sprintf("segment %d of %d (transactions %s..%s) admits no legal serialization from any feasible predecessor state", i+1, len(segments), seg[0].ID(), seg[len(seg)-1].ID()),
+			}, nil
+		}
+		states = next
+	}
+	return SegmentedResult{Holds: true, Segments: len(segments)}, nil
+}
+
+// segment splits the transactions (ordered by first event) at
+// quiescent cuts so each segment has at most max transactions. A cut
+// before transaction i is quiescent when every earlier transaction
+// ends before transaction i's first event.
+func segment(txns []*model.Transaction, max int) ([][]*model.Transaction, error) {
+	// maxLast[i] = max Last over txns[0..i].
+	maxLast := make([]int, len(txns))
+	running := -1
+	for i, t := range txns {
+		if t.Last > running {
+			running = t.Last
+		}
+		// A live transaction extends to the end of the history.
+		if t.Status == model.Live {
+			running = int(^uint(0) >> 1)
+		}
+		maxLast[i] = running
+	}
+	var out [][]*model.Transaction
+	start := 0
+	for start < len(txns) {
+		// The largest end such that txns[start:end] ≤ max and end is a
+		// quiescent cut (or the end of the history).
+		end := -1
+		for e := start + 1; e <= len(txns) && e-start <= max; e++ {
+			if e == len(txns) || maxLast[e-1] < txns[e].First {
+				end = e
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("%w: %d concurrent transactions at %s", ErrNoQuiescentCut, max+1, txns[start].ID())
+		}
+		out = append(out, txns[start:end])
+		start = end
+	}
+	return out, nil
+}
+
+// feasibleFinals returns the deduplicated committed snapshots
+// reachable by legally serializing the segment from any of the given
+// start states.
+func feasibleFinals(seg []*model.Transaction, starts []model.Snapshot) ([]model.Snapshot, error) {
+	n := len(seg)
+	if n > 64 {
+		return nil, ErrTooManyTransactions
+	}
+	preds := make([]uint64, n)
+	for i, a := range seg {
+		for j, b := range seg {
+			if i != j && b.Precedes(a) {
+				preds[i] |= 1 << uint(j)
+			}
+		}
+	}
+	finals := make(map[string]model.Snapshot)
+	seen := make(map[string]bool)
+	for _, start := range starts {
+		collectFinals(seg, preds, 0, start, finals, seen)
+	}
+	out := make([]model.Snapshot, 0, len(finals))
+	for _, s := range finals {
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// collectFinals enumerates all legal linear extensions, recording the
+// final snapshot of each complete one. Unlike the decision search it
+// cannot stop at the first witness — different witnesses may end in
+// different snapshots — but segments are small by construction, and
+// (placed, state) pairs already explored are skipped: their reachable
+// finals were recorded on the first visit.
+func collectFinals(seg []*model.Transaction, preds []uint64, placed uint64, state model.Snapshot, finals map[string]model.Snapshot, seen map[string]bool) {
+	key := memoKey(placed, state)
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	if placed == uint64(1)<<uint(len(seg))-1 {
+		finals[memoKey(0, state)] = state
+		return
+	}
+	for i := range seg {
+		bit := uint64(1) << uint(i)
+		if placed&bit != 0 || preds[i]&^placed != 0 {
+			continue
+		}
+		t := seg[i]
+		if model.LegalInState(t, state) != nil {
+			continue
+		}
+		commits := []bool{t.Status == model.Committed}
+		if commitPending(t) {
+			commits = []bool{false, true}
+		}
+		for _, asCommitted := range commits {
+			next := state
+			if asCommitted {
+				ws := t.WriteSet()
+				if len(ws) > 0 {
+					next = state.Clone()
+					next.Apply(ws)
+				}
+			}
+			collectFinals(seg, preds, placed|bit, next, finals, seen)
+		}
+	}
+}

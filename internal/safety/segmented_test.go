@@ -1,0 +1,191 @@
+package safety
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"livetm/internal/model"
+)
+
+func TestSegmentedAgreesOnFigures(t *testing.T) {
+	tests := []struct {
+		name string
+		h    model.History
+		want bool
+	}{
+		{"fig1", fig1(), true},
+		{"fig3", fig3(), false},
+		{"fig4", fig4(), false},
+		{"fig8", figAlg1Termination(0), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := CheckOpacitySegmented(tt.h, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Holds != tt.want {
+				t.Errorf("segmented = %v (%s), want %v", res.Holds, res.Reason, tt.want)
+			}
+		})
+	}
+}
+
+// Property: the segmented checker agrees with the monolithic one on
+// every small random history it can segment.
+func TestSegmentedAgreesProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := genHistory(raw)
+		mono, err := CheckOpacity(h)
+		if err != nil {
+			return true
+		}
+		seg, err := CheckOpacitySegmented(h, 8)
+		if errors.Is(err, ErrNoQuiescentCut) {
+			return true // not segmentable within budget: out of scope
+		}
+		if err != nil {
+			return false
+		}
+		return seg.Holds == mono.Holds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSegmentedLongHistory verifies a history far beyond the 64-txn
+// monolithic limit: 200 sequential counter transactions.
+func TestSegmentedLongHistory(t *testing.T) {
+	b := model.NewBuilder()
+	for i := 0; i < 200; i++ {
+		p := model.Proc(i%3 + 1)
+		b.Read(p, 0, model.Value(i)).Write(p, 0, model.Value(i+1)).Commit(p)
+	}
+	h := b.History()
+	if _, err := CheckOpacity(h); err == nil {
+		t.Fatal("monolithic checker should refuse 200 transactions")
+	}
+	res, err := CheckOpacitySegmented(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("sequential counter chain must be opaque: %s", res.Reason)
+	}
+	if res.Segments < 200/8 {
+		t.Errorf("segments = %d, expected at least %d", res.Segments, 200/8)
+	}
+}
+
+// TestSegmentedLongViolation plants a stale read deep inside a long
+// history and checks the segmented checker localizes the failure.
+func TestSegmentedLongViolation(t *testing.T) {
+	b := model.NewBuilder()
+	for i := 0; i < 80; i++ {
+		p := model.Proc(i%2 + 1)
+		b.Read(p, 0, model.Value(i)).Write(p, 0, model.Value(i+1)).Commit(p)
+	}
+	// The stale read: value 0 was overwritten 80 commits ago.
+	b.Read(1, 0, 0).Commit(1)
+	res, err := CheckOpacitySegmented(b.History(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("stale read must be caught")
+	}
+	if res.Reason == "" {
+		t.Error("violation must carry a localized reason")
+	}
+}
+
+// TestSegmentedSnapshotAmbiguity: two concurrent committed writers
+// with no reads can serialize either way, leaving two feasible
+// snapshots; the next segment is opaque under only one of them. The
+// segmented checker must keep both and accept.
+func TestSegmentedSnapshotAmbiguity(t *testing.T) {
+	h := model.History{
+		// Segment 1: w1 and w2 concurrent, both commit blind writes.
+		model.Write(1, 0, 1), model.OK(1),
+		model.Write(2, 0, 2), model.OK(2),
+		model.TryCommit(1), model.Commit(1),
+		model.TryCommit(2), model.Commit(2),
+		// Segment 2: a reader sees 1 — only the w2-then-w1 order fits.
+		model.Read(3, 0), model.ValueResp(3, 1),
+		model.TryCommit(3), model.Commit(3),
+	}
+	res, err := CheckOpacitySegmented(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("must hold via the w2;w1 serialization: %s", res.Reason)
+	}
+	// Control: reading 3 is infeasible under either order.
+	bad := h.Clone()
+	bad[9] = model.ValueResp(3, 3)
+	res, err = CheckOpacitySegmented(bad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("reading 3 must fail")
+	}
+}
+
+func TestSegmentedNoCut(t *testing.T) {
+	// Five pairwise-concurrent transactions and a budget of 2: no cut.
+	var h model.History
+	for p := model.Proc(1); p <= 5; p++ {
+		h = append(h, model.Read(p, 0), model.ValueResp(p, 0))
+	}
+	for p := model.Proc(1); p <= 5; p++ {
+		h = append(h, model.TryCommit(p), model.Commit(p))
+	}
+	_, err := CheckOpacitySegmented(h, 2)
+	if !errors.Is(err, ErrNoQuiescentCut) {
+		t.Errorf("err = %v, want ErrNoQuiescentCut", err)
+	}
+	// With a budget of 5 it segments (one segment) and holds: all
+	// transactions read the initial value and write nothing.
+	res, err := CheckOpacitySegmented(h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("read-only concurrent transactions are opaque: %s", res.Reason)
+	}
+}
+
+func TestSegmentedValidation(t *testing.T) {
+	if _, err := CheckOpacitySegmented(fig1(), 0); err == nil {
+		t.Error("budget 0 must be rejected")
+	}
+	if _, err := CheckOpacitySegmented(fig1(), 65); err == nil {
+		t.Error("budget > 64 must be rejected")
+	}
+	if _, err := CheckOpacitySegmented(model.History{model.OK(1)}, 4); err == nil {
+		t.Error("malformed history must be rejected")
+	}
+	res, err := CheckOpacitySegmented(nil, 4)
+	if err != nil || !res.Holds {
+		t.Error("empty history is opaque")
+	}
+}
+
+// TestSegmentedLiveTransactionBlocksCut: a transaction left live spans
+// to the end of the history, so cuts after its start are not
+// quiescent.
+func TestSegmentedLiveTransactionBlocksCut(t *testing.T) {
+	b := model.NewBuilder()
+	b.Raw(model.Read(3, 1)) // p3 starts and never finishes
+	for i := 0; i < 10; i++ {
+		b.Read(1, 0, model.Value(i)).Write(1, 0, model.Value(i+1)).Commit(1)
+	}
+	_, err := CheckOpacitySegmented(b.History(), 4)
+	if !errors.Is(err, ErrNoQuiescentCut) {
+		t.Errorf("err = %v, want ErrNoQuiescentCut (live transaction spans everything)", err)
+	}
+}

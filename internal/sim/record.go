@@ -1,0 +1,36 @@
+package sim
+
+import "livetm/internal/model"
+
+// Recording wraps a policy and records every scheduling choice, so a
+// run can be replayed exactly with a Fixed policy — useful for
+// shrinking and for attaching a failing schedule to a bug report.
+type Recording struct {
+	inner   Policy
+	choices []model.Proc
+}
+
+// Record wraps the policy (nil means round-robin).
+func Record(p Policy) *Recording {
+	if p == nil {
+		p = &RoundRobin{}
+	}
+	return &Recording{inner: p}
+}
+
+// Next implements Policy.
+func (r *Recording) Next(runnable []model.Proc, step int) model.Proc {
+	p := r.inner.Next(runnable, step)
+	r.choices = append(r.choices, p)
+	return p
+}
+
+// Choices returns a copy of the recorded schedule.
+func (r *Recording) Choices() []model.Proc {
+	return append([]model.Proc(nil), r.choices...)
+}
+
+// Replay returns a policy that replays the recorded schedule.
+func (r *Recording) Replay() Policy {
+	return &Fixed{Schedule: r.Choices()}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"livetm/internal/model"
+)
+
+func traceRun(t *testing.T, policy Policy) []int {
+	t.Helper()
+	s := New(policy)
+	defer s.Close()
+	var trace []int
+	for p := model.Proc(1); p <= 3; p++ {
+		_ = s.Spawn(p, func(env *Env) {
+			for i := 0; i < 6; i++ {
+				trace = append(trace, int(env.Proc()))
+				env.Yield()
+			}
+		})
+	}
+	s.Run(1000)
+	return trace
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	rec := Record(NewSeeded(99))
+	original := traceRun(t, rec)
+	replayed := traceRun(t, rec.Replay())
+	if len(original) != len(replayed) {
+		t.Fatalf("lengths differ: %d vs %d", len(original), len(replayed))
+	}
+	for i := range original {
+		if original[i] != replayed[i] {
+			t.Fatalf("replay diverges at step %d: %v vs %v", i, original, replayed)
+		}
+	}
+}
+
+func TestRecordDefaultsToRoundRobin(t *testing.T) {
+	rec := Record(nil)
+	_ = traceRun(t, rec)
+	if len(rec.Choices()) == 0 {
+		t.Error("choices must be recorded")
+	}
+}
+
+func TestChoicesIsCopy(t *testing.T) {
+	rec := Record(nil)
+	_ = traceRun(t, rec)
+	c := rec.Choices()
+	c[0] = 99
+	if rec.Choices()[0] == 99 {
+		t.Error("Choices must return a copy")
+	}
+}

@@ -1,0 +1,319 @@
+// Package sim is the asynchronous shared-memory substrate of the
+// reproduction: a deterministic cooperative scheduler in which each
+// process runs as a goroutine but exactly one process advances at a
+// time, between explicit yield points.
+//
+// Yield points model the base-object accesses of the paper's model
+// (§2.1): the scheduler may switch processes, and a process may crash,
+// at any yield point — including in the middle of a TM operation while
+// the operation holds locks. This reproduces the paper's asynchronous
+// crash semantics (a crashed process holds whatever it holds forever)
+// without real wall-clock hangs or data races: because only one
+// process runs at a time and control transfers through channels, the
+// TM implementations can use ordinary Go data structures.
+//
+// Determinism: given the same policy (and seed), spawn order, and
+// process bodies, runs are bit-for-bit reproducible.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"livetm/internal/model"
+)
+
+// killToken is panicked inside Yield to unwind a process goroutine
+// when the scheduler shuts down. It never escapes the package: the
+// spawn wrapper recovers it. (Panic as control flow is confined to
+// this single, documented mechanism.)
+type killToken struct{}
+
+// Env is the execution environment handed to a process body. TM
+// implementations call Yield at every base-object access; the
+// scheduler uses these points for preemption and crashes.
+//
+// A nil-scheduler Env (from Background) makes Yield a no-op so that TM
+// implementations can also be used directly, single-threaded.
+type Env struct {
+	p model.Proc
+	s *Scheduler
+}
+
+// Background returns an Env not attached to any scheduler: Yield is a
+// no-op. Use it to run TM operations directly from a single goroutine
+// (examples, quick tests).
+func Background(p model.Proc) *Env { return &Env{p: p} }
+
+// Proc returns the process this environment belongs to.
+func (e *Env) Proc() model.Proc { return e.p }
+
+// Yield hands control back to the scheduler; the process resumes when
+// scheduled next. Inside a scheduler run this is a potential
+// preemption and crash point.
+func (e *Env) Yield() {
+	if e.s == nil {
+		return
+	}
+	ps := e.s.procs[e.p]
+	e.s.events <- event{p: e.p, kind: evYield}
+	<-ps.resume
+	if ps.killed {
+		panic(killToken{})
+	}
+}
+
+// Policy picks which runnable process advances next.
+type Policy interface {
+	// Next returns the process to run; runnable is non-empty and
+	// sorted. step is the global step counter.
+	Next(runnable []model.Proc, step int) model.Proc
+}
+
+// RoundRobin schedules runnable processes in rotating order.
+type RoundRobin struct{ last int }
+
+// Next implements Policy.
+func (r *RoundRobin) Next(runnable []model.Proc, _ int) model.Proc {
+	r.last++
+	return runnable[r.last%len(runnable)]
+}
+
+// Seeded schedules runnable processes pseudo-randomly but
+// deterministically from a seed, using a simple xorshift generator (no
+// dependence on math/rand ordering across Go versions).
+type Seeded struct{ state uint64 }
+
+// NewSeeded returns a Seeded policy; seed 0 is replaced by 1.
+func NewSeeded(seed uint64) *Seeded {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Seeded{state: seed}
+}
+
+// Next implements Policy.
+func (s *Seeded) Next(runnable []model.Proc, _ int) model.Proc {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return runnable[s.state%uint64(len(runnable))]
+}
+
+// Fixed replays an explicit schedule of process identifiers; when the
+// scheduled process is not runnable (or the schedule is exhausted) it
+// falls back to the first runnable process.
+type Fixed struct {
+	Schedule []model.Proc
+	pos      int
+}
+
+// Next implements Policy.
+func (f *Fixed) Next(runnable []model.Proc, _ int) model.Proc {
+	for f.pos < len(f.Schedule) {
+		p := f.Schedule[f.pos]
+		f.pos++
+		for _, r := range runnable {
+			if r == p {
+				return p
+			}
+		}
+	}
+	return runnable[0]
+}
+
+type evKind int
+
+const (
+	evYield evKind = iota + 1
+	evDone
+)
+
+type event struct {
+	p    model.Proc
+	kind evKind
+}
+
+type procState struct {
+	resume      chan struct{}
+	started     bool
+	done        bool
+	crashed     bool
+	killed      bool
+	suspendedTo int // not scheduled until the global step counter reaches this
+}
+
+// Scheduler coordinates the process goroutines. It is not safe for
+// concurrent use: drive it from a single goroutine.
+type Scheduler struct {
+	policy Policy
+	procs  map[model.Proc]*procState
+	order  []model.Proc
+	events chan event
+	steps  int
+	closed bool
+}
+
+// New returns a scheduler with the given policy (nil means round-
+// robin).
+func New(policy Policy) *Scheduler {
+	if policy == nil {
+		policy = &RoundRobin{}
+	}
+	return &Scheduler{
+		policy: policy,
+		procs:  make(map[model.Proc]*procState),
+		events: make(chan event),
+	}
+}
+
+// Steps returns the number of scheduling steps taken so far.
+func (s *Scheduler) Steps() int { return s.steps }
+
+// Spawn registers process p with the given body. The body starts
+// suspended; it first runs when the scheduler picks it. Spawning after
+// Close or with a duplicate identifier returns an error.
+func (s *Scheduler) Spawn(p model.Proc, body func(*Env)) error {
+	if s.closed {
+		return fmt.Errorf("sim: scheduler is closed")
+	}
+	if _, dup := s.procs[p]; dup {
+		return fmt.Errorf("sim: process %d already spawned", p)
+	}
+	ps := &procState{resume: make(chan struct{})}
+	s.procs[p] = ps
+	s.order = append(s.order, p)
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	env := &Env{p: p, s: s}
+	go func() {
+		<-ps.resume
+		if ps.killed {
+			s.events <- event{p: p, kind: evDone}
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killToken); !isKill {
+					panic(r)
+				}
+			}
+			s.events <- event{p: p, kind: evDone}
+		}()
+		body(env)
+	}()
+	return nil
+}
+
+// Crash marks p crashed: it will never be scheduled again, and
+// whatever it holds stays held. Crashing an unknown, finished, or
+// already crashed process is a no-op.
+func (s *Scheduler) Crash(p model.Proc) {
+	if ps, ok := s.procs[p]; ok {
+		ps.crashed = true
+	}
+}
+
+// Crashed reports whether p has been crashed.
+func (s *Scheduler) Crashed(p model.Proc) bool {
+	ps, ok := s.procs[p]
+	return ok && ps.crashed
+}
+
+// Suspend models a transient stall (§1.2: preemption, page fault,
+// I/O): p is not scheduled for the next `steps` global steps and then
+// becomes runnable again. Unlike a crash, whatever p holds it will
+// eventually release — the distinction the paper draws between slow
+// and crashed processes, which the TM itself can never observe.
+func (s *Scheduler) Suspend(p model.Proc, steps int) {
+	if ps, ok := s.procs[p]; ok && steps > 0 {
+		ps.suspendedTo = s.steps + steps
+	}
+}
+
+// Suspended reports whether p is currently suspended.
+func (s *Scheduler) Suspended(p model.Proc) bool {
+	ps, ok := s.procs[p]
+	return ok && s.steps < ps.suspendedTo
+}
+
+func (s *Scheduler) runnable() []model.Proc {
+	var out []model.Proc
+	for _, p := range s.order {
+		ps := s.procs[p]
+		if !ps.done && !ps.crashed && s.steps >= ps.suspendedTo {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Runnable returns the processes currently eligible for scheduling
+// (spawned, not finished, not crashed), sorted. Systematic schedule
+// exploration uses it to branch on the frontier.
+func (s *Scheduler) Runnable() []model.Proc {
+	if s.closed {
+		return nil
+	}
+	return s.runnable()
+}
+
+// Step advances one process by one yield-to-yield slice. It returns
+// false when no process is runnable (all finished or crashed). When
+// every live process is merely suspended, the step is an idle tick:
+// time passes and suspensions expire.
+func (s *Scheduler) Step() bool {
+	if s.closed {
+		return false
+	}
+	runnable := s.runnable()
+	if len(runnable) == 0 {
+		for _, p := range s.order {
+			ps := s.procs[p]
+			if !ps.done && !ps.crashed && s.steps < ps.suspendedTo {
+				s.steps++ // idle tick: only suspended processes remain
+				return true
+			}
+		}
+		return false
+	}
+	p := s.policy.Next(runnable, s.steps)
+	s.steps++
+	ps := s.procs[p]
+	ps.started = true
+	ps.resume <- struct{}{}
+	ev := <-s.events
+	if ev.kind == evDone {
+		s.procs[ev.p].done = true
+	}
+	return true
+}
+
+// Run calls Step until no process is runnable or maxSteps steps have
+// been taken. It returns the number of steps executed in this call.
+func (s *Scheduler) Run(maxSteps int) int {
+	n := 0
+	for n < maxSteps && s.Step() {
+		n++
+	}
+	return n
+}
+
+// Close terminates every process goroutine still parked at a yield
+// point (including crashed ones) so that no goroutines leak. The
+// scheduler cannot be used afterwards.
+func (s *Scheduler) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, p := range s.order {
+		ps := s.procs[p]
+		if ps.done {
+			continue
+		}
+		ps.killed = true
+		ps.resume <- struct{}{}
+		ev := <-s.events
+		s.procs[ev.p].done = true
+	}
+}

@@ -1,0 +1,148 @@
+package glock
+
+import (
+	"testing"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/stmtest"
+)
+
+func factory(nProcs, nVars int) stm.TM { return New() }
+
+func TestConformance(t *testing.T) {
+	stmtest.Conformance(t, factory)
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "glock" || NewBarging().Name() != "glock-barging" {
+		t.Error("names")
+	}
+}
+
+// TestLocalProgressFaultFree: with no faults, every process commits —
+// the global lock gives local progress in a crash-free, parasitic-free
+// system (§3.2.1).
+func TestLocalProgressFaultFree(t *testing.T) {
+	counts := stmtest.FaultFree(factory, 4, 4000, 11)
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("process %d never committed under the fair global lock", p)
+		}
+	}
+}
+
+// TestNeverAborts: the global-lock TM never issues abort events.
+func TestNeverAborts(t *testing.T) {
+	rec := stm.NewRecorder(New())
+	s := sim.New(sim.NewSeeded(3))
+	defer s.Close()
+	var c1, c2 int
+	_ = s.Spawn(1, stmtest.CounterBody(rec, 0, &c1))
+	_ = s.Spawn(2, stmtest.CounterBody(rec, 0, &c2))
+	s.Run(2000)
+	for _, e := range rec.History() {
+		if e.Kind == model.RespAbort {
+			t.Fatalf("global-lock TM aborted: %s", e)
+		}
+	}
+	if c1 == 0 || c2 == 0 {
+		t.Errorf("commits = %d, %d; both processes must progress", c1, c2)
+	}
+}
+
+// TestCrashBlocksEveryone: some crash point leaves the lock held
+// forever and the survivor starves — the global lock does not ensure
+// solo progress under crashes.
+func TestCrashBlocksEveryone(t *testing.T) {
+	worst := stmtest.CrashSweep(factory, 400, 40, 5)
+	if worst != 0 {
+		t.Errorf("worst-case survivor commits = %d, want 0 (lock held by the crashed process)", worst)
+	}
+}
+
+// TestParasiticBlocksEveryone: a parasitic writer holds the lock
+// forever.
+func TestParasiticBlocksEveryone(t *testing.T) {
+	if got := stmtest.Parasitic(factory, 2000, 5); got != 0 {
+		t.Errorf("survivor commits = %d, want 0 under a parasitic lock holder", got)
+	}
+}
+
+// TestSuspensionStallsButRecovers is the §1.2 distinction in action:
+// during p1's long suspension the lock may be held and p2 stalls, but
+// unlike a crash the stall ends — p2 commits again once p1 resumes
+// and releases.
+func TestSuspensionStallsButRecovers(t *testing.T) {
+	stalled := false
+	for seed := uint64(1); seed <= 12; seed++ {
+		during, recovered := stmtest.SuspensionStall(factory, 37, 600, 800, seed)
+		if recovered == 0 {
+			t.Fatalf("seed %d: p2 must recover after p1 resumes (got %d during, %d after)", seed, during, recovered)
+		}
+		if during == 0 {
+			stalled = true // the suspension caught p1 holding the lock
+		}
+	}
+	if !stalled {
+		t.Error("no seed caught p1 holding the lock during its suspension; the stall should be observable")
+	}
+}
+
+// TestFIFOOrder: the fair lock grants in arrival order.
+func TestFIFOOrder(t *testing.T) {
+	tm := New()
+	s := sim.New(&sim.Fixed{Schedule: schedule()})
+	defer s.Close()
+	var order []model.Proc
+	body := func(env *sim.Env) {
+		if _, st := tm.Read(env, 0); st != stm.OK {
+			t.Error("glock read must not abort")
+		}
+		order = append(order, env.Proc())
+		if tm.TryCommit(env) != stm.OK {
+			t.Error("glock commit must not abort")
+		}
+	}
+	_ = s.Spawn(1, body)
+	_ = s.Spawn(2, body)
+	_ = s.Spawn(3, body)
+	s.Run(4000)
+	if len(order) != 3 {
+		t.Fatalf("completions = %v, want all three processes", order)
+	}
+	// p1 enqueued first (schedule lets p1 reach the queue first), then
+	// p2, then p3.
+	for i, want := range []model.Proc{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("grant order = %v, want [1 2 3]", order)
+		}
+	}
+}
+
+// schedule lets each process take exactly one step (enqueue) in id
+// order, then round-robins.
+func schedule() []model.Proc {
+	s := []model.Proc{1, 2, 3}
+	for i := 0; i < 200; i++ {
+		s = append(s, 1, 2, 3)
+	}
+	return s
+}
+
+// TestBargingConformance: the barging variant is still safe (it is
+// only fairness that changes).
+func TestBargingConformance(t *testing.T) {
+	stmtest.Conformance(t, func(nProcs, nVars int) stm.TM { return NewBarging() })
+}
+
+// TestEmptyTransactionCommit: a tryC with no preceding operations
+// commits without touching the lock.
+func TestEmptyTransactionCommit(t *testing.T) {
+	tm := New()
+	env := sim.Background(1)
+	if tm.TryCommit(env) != stm.OK {
+		t.Error("empty transaction must commit")
+	}
+}

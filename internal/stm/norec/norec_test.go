@@ -1,0 +1,119 @@
+package norec
+
+import (
+	"testing"
+
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/stmtest"
+)
+
+func factory(nProcs, nVars int) stm.TM { return New() }
+
+func TestConformance(t *testing.T) {
+	stmtest.Conformance(t, factory)
+}
+
+func TestFaultFreeProgress(t *testing.T) {
+	counts := stmtest.FaultFree(factory, 3, 6000, 71)
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("process %d never committed fault-free", p)
+		}
+	}
+}
+
+// TestCrashHoldingSeqLockBlocks: a crash inside the commit window
+// holds the global sequence lock forever; like TL2, NOrec ensures
+// solo progress only in crash-free systems.
+func TestCrashHoldingSeqLockBlocks(t *testing.T) {
+	worst := stmtest.CrashSweep(factory, 600, 60, 37)
+	if worst != 0 {
+		t.Errorf("worst-case survivor commits = %d, want 0 (sequence lock held)", worst)
+	}
+}
+
+// TestParasiticHarmless: deferred updates — a parasitic writer holds
+// nothing.
+func TestParasiticHarmless(t *testing.T) {
+	if got := stmtest.Parasitic(factory, 4000, 37); got == 0 {
+		t.Error("a parasitic writer must not block NOrec")
+	}
+	if got := stmtest.ParasiticBiased(factory, 4000, 2); got == 0 {
+		t.Error("even a biased parasitic writer must not block NOrec")
+	}
+}
+
+// TestCrashBlocksDisjointWriters: unlike TL2, the crashed commit
+// blocks updates to *disjoint* variables too — the sequence lock is
+// global. This distinguishes the two designs' failure modes within
+// the same verdict row.
+func TestCrashBlocksDisjointWriters(t *testing.T) {
+	// Find a crash point inside p1's commit window, then check that
+	// p2 — writing a different variable — still cannot commit.
+	for crashAt := 1; crashAt <= 16; crashAt++ {
+		tm := New()
+		s := sim.New(nil)
+		_ = s.Spawn(1, func(env *sim.Env) {
+			tm.Write(env, 0, 1)
+			tm.TryCommit(env)
+		})
+		s.Run(crashAt)
+		s.Crash(1)
+
+		var c2 int
+		_ = s.Spawn(2, stmtest.CounterBody(tm, 1, &c2))
+		s.Run(800)
+		s.Close()
+		if c2 == 0 {
+			return // found the blocking window: expected behavior
+		}
+	}
+	t.Error("no crash point blocked a disjoint writer; the sequence lock should be global")
+}
+
+// TestValueBasedValidationSurvivesSilentRewrite: NOrec's value-based
+// validation admits a reader when a writer re-installed the same
+// value (where TL2's version check would abort).
+func TestValueBasedValidationSurvivesSilentRewrite(t *testing.T) {
+	tm := New()
+	env1, env2 := sim.Background(1), sim.Background(2)
+	// p1 reads x0 = 0.
+	if _, st := tm.Read(env1, 0); st != stm.OK {
+		t.Fatal("p1 read")
+	}
+	// p2 commits x1 := 5 (bumps the sequence number; x0 untouched).
+	if st := tm.Write(env2, 1, 5); st != stm.OK {
+		t.Fatal("p2 write")
+	}
+	if st := tm.TryCommit(env2); st != stm.OK {
+		t.Fatal("p2 commit")
+	}
+	// p1's next read revalidates by value and passes: x0 is still 0.
+	if _, st := tm.Read(env1, 1); st != stm.OK {
+		t.Fatal("value-based validation must admit p1 (its snapshot still holds by value)")
+	}
+	if st := tm.TryCommit(env1); st != stm.OK {
+		t.Fatal("p1 read-only commit")
+	}
+}
+
+// TestSnapshotStillConsistent: value-based validation must not admit
+// a genuinely stale snapshot.
+func TestSnapshotStillConsistent(t *testing.T) {
+	tm := New()
+	env1, env2 := sim.Background(1), sim.Background(2)
+	if _, st := tm.Read(env1, 0); st != stm.OK {
+		t.Fatal("p1 read x0")
+	}
+	if st := tm.Write(env2, 0, 9); st != stm.OK {
+		t.Fatal("p2 write")
+	}
+	if st := tm.TryCommit(env2); st != stm.OK {
+		t.Fatal("p2 commit")
+	}
+	// p1's snapshot (x0=0) is now stale by value: the next read aborts.
+	if _, st := tm.Read(env1, 1); st != stm.Aborted {
+		t.Fatal("stale-by-value snapshot must abort")
+	}
+}

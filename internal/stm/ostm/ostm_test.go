@@ -1,0 +1,148 @@
+package ostm
+
+import (
+	"testing"
+
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/stmtest"
+)
+
+func factory(nProcs, nVars int) stm.TM { return New() }
+
+func TestConformance(t *testing.T) {
+	stmtest.Conformance(t, factory)
+}
+
+func TestConformanceNoHelp(t *testing.T) {
+	stmtest.Conformance(t, func(nProcs, nVars int) stm.TM { return NewWithoutHelping() })
+}
+
+func TestNames(t *testing.T) {
+	if New().Name() != "ostm" || NewWithoutHelping().Name() != "ostm-nohelp" {
+		t.Error("names")
+	}
+}
+
+func TestFaultFreeProgress(t *testing.T) {
+	counts := stmtest.FaultFree(factory, 3, 8000, 51)
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("process %d never committed fault-free", p)
+		}
+	}
+}
+
+// TestCrashNeverBlocks: helping completes a crashed committer's
+// descriptor; every crash point leaves the survivor progressing. This
+// is the crash half of OSTM's global progress (§1.3).
+func TestCrashNeverBlocks(t *testing.T) {
+	worst := stmtest.CrashSweep(factory, 600, 80, 23)
+	if worst == 0 {
+		t.Error("some crash point blocked the survivor; helping must complete in-flight commits")
+	}
+}
+
+// TestParasiticHarmless: deferred updates — a parasitic writer
+// publishes nothing and blocks nobody (the parasitic half of global
+// progress).
+func TestParasiticHarmless(t *testing.T) {
+	if got := stmtest.Parasitic(factory, 4000, 23); got == 0 {
+		t.Error("a parasitic writer must not block OSTM")
+	}
+}
+
+// TestNoHelpLosesCrashResilience (the helping ablation): without
+// helping a crashed committer's descriptor blocks conflicting
+// transactions forever.
+func TestNoHelpLosesCrashResilience(t *testing.T) {
+	worst := stmtest.CrashSweep(func(nProcs, nVars int) stm.TM { return NewWithoutHelping() }, 600, 80, 23)
+	if worst != 0 {
+		t.Errorf("worst-case survivor commits = %d, want 0 without helping", worst)
+	}
+}
+
+// TestCrashedCommitStaysAtomic sweeps the crash point across p1's
+// two-variable committing transaction. Whatever the crash point, a
+// later reader (who helps any in-flight descriptor) must observe
+// either none or all of p1's writes — never a mixed state — and must
+// never be blocked.
+func TestCrashedCommitStaysAtomic(t *testing.T) {
+	for crashAt := 1; crashAt <= 10; crashAt++ {
+		tm := New()
+		s := sim.New(nil)
+		_ = s.Spawn(1, func(env *sim.Env) {
+			tm.Write(env, 0, 7)
+			tm.Write(env, 1, 8)
+			tm.TryCommit(env)
+		})
+		s.Run(crashAt)
+		s.Crash(1)
+		s.Close()
+
+		env2 := sim.Background(2)
+		v0, st0 := tm.Read(env2, 0)
+		v1, st1 := tm.Read(env2, 1)
+		if st0 != stm.OK || st1 != stm.OK {
+			t.Fatalf("crashAt=%d: reader blocked or aborted (%v, %v)", crashAt, st0, st1)
+		}
+		both := v0 == 7 && v1 == 8
+		neither := v0 == 0 && v1 == 0
+		if !both && !neither {
+			t.Fatalf("crashAt=%d: mixed state x0=%d x1=%d", crashAt, v0, v1)
+		}
+	}
+}
+
+// TestReadOnlyCommitValidates: a read-only transaction with a stale
+// read set aborts at commit.
+func TestReadOnlyCommitValidates(t *testing.T) {
+	tm := New()
+	env1, env2 := sim.Background(1), sim.Background(2)
+	if _, st := tm.Read(env1, 0); st != stm.OK {
+		t.Fatal("p1 read")
+	}
+	if st := tm.Write(env2, 0, 1); st != stm.OK {
+		t.Fatal("p2 write")
+	}
+	if st := tm.TryCommit(env2); st != stm.OK {
+		t.Fatal("p2 commit")
+	}
+	if st := tm.TryCommit(env1); st != stm.Aborted {
+		t.Fatal("stale read-only transaction must abort at commit")
+	}
+}
+
+// TestConflictingCommitsOneWins: two transactions writing the same
+// variable with a read dependency — exactly one commits.
+func TestConflictingCommitsOneWins(t *testing.T) {
+	tm := New()
+	env1, env2 := sim.Background(1), sim.Background(2)
+	v1, st := tm.Read(env1, 0)
+	if st != stm.OK {
+		t.Fatal("p1 read")
+	}
+	v2, st := tm.Read(env2, 0)
+	if st != stm.OK {
+		t.Fatal("p2 read")
+	}
+	if st := tm.Write(env1, 0, v1+1); st != stm.OK {
+		t.Fatal("p1 write")
+	}
+	if st := tm.Write(env2, 0, v2+1); st != stm.OK {
+		t.Fatal("p2 write")
+	}
+	st1 := tm.TryCommit(env1)
+	st2 := tm.TryCommit(env2)
+	if st1 == stm.OK && st2 == stm.OK {
+		t.Fatal("both conflicting increments committed: lost update")
+	}
+	if st1 != stm.OK && st2 != stm.OK {
+		t.Fatal("neither committed: no progress")
+	}
+	env3 := sim.Background(3)
+	v, st := tm.Read(env3, 0)
+	if st != stm.OK || v != 1 {
+		t.Fatalf("final value = %d,%v; want 1,ok", v, st)
+	}
+}

@@ -1,0 +1,177 @@
+package tiny
+
+import (
+	"testing"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/stmtest"
+)
+
+func factory(nProcs, nVars int) stm.TM { return New() }
+
+func TestConformance(t *testing.T) {
+	stmtest.Conformance(t, factory)
+}
+
+func TestFaultFreeProgress(t *testing.T) {
+	counts := stmtest.FaultFree(factory, 3, 6000, 21)
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("process %d never committed fault-free", p)
+		}
+	}
+}
+
+// TestCrashHoldingLockBlocks: encounter-time locks are held from first
+// write to commit; some crash point leaves them held forever, so
+// TinySTM-style TMs do not ensure solo progress under crashes
+// (§3.2.3).
+func TestCrashHoldingLockBlocks(t *testing.T) {
+	worst := stmtest.CrashSweep(factory, 600, 40, 9)
+	if worst != 0 {
+		t.Errorf("worst-case survivor commits = %d, want 0", worst)
+	}
+}
+
+// TestParasiticWriterBlocks: a parasitic writer holds its encounter
+// lock forever and conflicting transactions abort indefinitely.
+func TestParasiticWriterBlocks(t *testing.T) {
+	if got := stmtest.Parasitic(factory, 4000, 9); got != 0 {
+		t.Errorf("survivor commits = %d, want 0 under a parasitic writer", got)
+	}
+}
+
+// TestParasiticReaderHarmless: reads are invisible; a parasitic reader
+// blocks nobody.
+func TestParasiticReaderHarmless(t *testing.T) {
+	tm := New()
+	s := sim.New(sim.NewSeeded(4))
+	defer s.Close()
+	var c2 int
+	_ = s.Spawn(1, stmtest.ParasiticReaderBody(tm, 0))
+	_ = s.Spawn(2, stmtest.CounterBody(tm, 0, &c2))
+	s.Run(4000)
+	if c2 == 0 {
+		t.Error("a parasitic reader must not block a writer")
+	}
+}
+
+// TestCrashOnDisjointVariableHarmless: a crashed lock holder only
+// blocks transactions that touch its variables.
+func TestCrashOnDisjointVariableHarmless(t *testing.T) {
+	tm := New()
+	s := sim.New(sim.NewSeeded(6))
+	defer s.Close()
+	var c1, c2 int
+	_ = s.Spawn(1, stmtest.DisjointBody(tm, &c1)) // per-process variable
+	_ = s.Spawn(2, stmtest.DisjointBody(tm, &c2))
+	s.Run(60)
+	s.Crash(1)
+	before := c2
+	s.Run(2000)
+	if c2 == before {
+		t.Error("p2 works on a disjoint variable and must keep committing")
+	}
+}
+
+// TestBoundedCounterFinishes: bounded workloads terminate and release
+// everything, leaving the TM auditable afterwards.
+func TestBoundedCounterFinishes(t *testing.T) {
+	tm := New()
+	s := sim.New(sim.NewSeeded(8))
+	defer s.Close()
+	var c1, c2 int
+	_ = s.Spawn(1, stmtest.BoundedCounterBody(tm, 0, 5, &c1))
+	_ = s.Spawn(2, stmtest.BoundedCounterBody(tm, 0, 5, &c2))
+	if steps := s.Run(100000); steps >= 100000 {
+		t.Fatal("bounded counters did not finish")
+	}
+	if c1 != 5 || c2 != 5 {
+		t.Fatalf("commits = %d, %d; want 5 each", c1, c2)
+	}
+	env := sim.Background(3)
+	v, st := tm.Read(env, 0)
+	if st != stm.OK || v != 10 {
+		t.Fatalf("final counter = %d,%v; want 10", v, st)
+	}
+}
+
+// TestDirtyReadPrevented: an uncommitted in-place write is never
+// observable — readers abort on locked variables.
+func TestDirtyReadPrevented(t *testing.T) {
+	tm := New()
+	s := sim.New(&sim.Fixed{Schedule: []model.Proc{1, 1, 1, 2, 2, 2, 2}})
+	defer s.Close()
+	_ = s.Spawn(1, func(env *sim.Env) {
+		tm.Write(env, 0, 99) // acquires the lock, writes in place
+		for {
+			env.Yield() // parasitic from here on: lock stays held
+		}
+	})
+	var sawDirty, sawAbort bool
+	_ = s.Spawn(2, func(env *sim.Env) {
+		for i := 0; i < 5; i++ {
+			v, st := tm.Read(env, 0)
+			if st == stm.OK && v == 99 {
+				sawDirty = true
+			}
+			if st == stm.Aborted {
+				sawAbort = true
+			}
+		}
+	})
+	s.Run(200)
+	if sawDirty {
+		t.Error("reader observed an uncommitted in-place write")
+	}
+	if !sawAbort {
+		t.Error("reader should have been aborted by the encounter lock")
+	}
+}
+
+// TestAbortRestoresValue: a writer that aborts rolls its in-place
+// writes back.
+func TestAbortRestoresValue(t *testing.T) {
+	tm := New()
+	env1, env2 := sim.Background(1), sim.Background(2)
+	if st := tm.Write(env1, 0, 5); st != stm.OK {
+		t.Fatal("p1 write")
+	}
+	if st := tm.TryCommit(env1); st != stm.OK {
+		t.Fatal("p1 commit")
+	}
+	// p2 writes 9 in place, then aborts by conflicting on a read of a
+	// variable p1 then locks... simpler: force p2's abort via p1's
+	// encounter lock.
+	if st := tm.Write(env2, 0, 9); st != stm.OK {
+		t.Fatal("p2 write")
+	}
+	if st := tm.Write(env1, 0, 6); st != stm.Aborted {
+		t.Fatal("p1 must abort on p2's lock")
+	}
+	// p2 aborts itself by reading a variable... instead make p2 abort
+	// via commit-time validation failure: impossible here, so test the
+	// rollback path through a read conflict: p2 reads x1 (version
+	// recorded), p3 commits x1 behind p2's back, p2's next read fails
+	// and rolls back.
+	env3 := sim.Background(3)
+	if _, st := tm.Read(env2, 1); st != stm.OK {
+		t.Fatal("p2 read x1")
+	}
+	if st := tm.Write(env3, 1, 1); st != stm.OK {
+		t.Fatal("p3 write x1")
+	}
+	if st := tm.TryCommit(env3); st != stm.OK {
+		t.Fatal("p3 commit")
+	}
+	if _, st := tm.Read(env2, 1); st != stm.Aborted {
+		t.Fatal("p2's snapshot is stale; the read must abort")
+	}
+	// p2's in-place 9 must have been rolled back to the committed 5.
+	v, st := tm.Read(env3, 0)
+	if st != stm.OK || v != 5 {
+		t.Fatalf("after p2's rollback, x0 = %d,%v; want 5,ok", v, st)
+	}
+}

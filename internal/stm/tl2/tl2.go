@@ -1,0 +1,178 @@
+// Package tl2 implements a TL2-style TM [15]: deferred updates
+// (writes are buffered until commit), a global version clock, and
+// commit-time locking. Reads validate against the transaction's read
+// version, so every transaction sees a consistent snapshot (opacity).
+//
+// Liveness class (§3.2.3): solo progress in crash-free systems. A
+// parasitic process holds no locks — updates are deferred — so it
+// cannot block anyone; but a process that crashes inside its commit,
+// between lock acquisition and release, leaves those commit-time locks
+// held forever and conflicting transactions abort indefinitely.
+package tl2
+
+import (
+	"sort"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+)
+
+type varRecord struct {
+	value   model.Value
+	version uint64
+	owner   model.Proc // commit-time lock; 0 when unlocked
+}
+
+type txn struct {
+	active bool
+	rv     uint64 // read version: global clock at transaction start
+	reads  map[model.TVar]struct{}
+	writes map[model.TVar]model.Value
+}
+
+// TM is the TL2-style TM.
+type TM struct {
+	clock uint64
+	vars  map[model.TVar]*varRecord
+	txns  map[model.Proc]*txn
+}
+
+var _ stm.TM = (*TM)(nil)
+
+// New returns an empty instance.
+func New() *TM {
+	return &TM{
+		vars: make(map[model.TVar]*varRecord),
+		txns: make(map[model.Proc]*txn),
+	}
+}
+
+// Name implements stm.TM.
+func (t *TM) Name() string { return "tl2" }
+
+func (t *TM) rec(x model.TVar) *varRecord {
+	r, ok := t.vars[x]
+	if !ok {
+		r = &varRecord{value: model.InitialValue}
+		t.vars[x] = r
+	}
+	return r
+}
+
+func (t *TM) txn(p model.Proc) *txn {
+	tx, ok := t.txns[p]
+	if !ok || !tx.active {
+		tx = &txn{
+			active: true,
+			rv:     t.clock,
+			reads:  make(map[model.TVar]struct{}),
+			writes: make(map[model.TVar]model.Value),
+		}
+		t.txns[p] = tx
+	}
+	return tx
+}
+
+func (t *TM) abort(tx *txn) stm.Status {
+	tx.active = false
+	return stm.Aborted
+}
+
+// Read implements stm.TM: return the write-buffer entry if present,
+// else the shared value, valid only if unlocked and not newer than the
+// transaction's read version.
+func (t *TM) Read(env *sim.Env, x model.TVar) (model.Value, stm.Status) {
+	p := env.Proc()
+	tx := t.txn(p)
+	if v, buffered := tx.writes[x]; buffered {
+		env.Yield()
+		return v, stm.OK
+	}
+	env.Yield()
+	r := t.rec(x)
+	if r.owner != 0 || r.version > tx.rv {
+		return 0, t.abort(tx)
+	}
+	tx.reads[x] = struct{}{}
+	return r.value, stm.OK
+}
+
+// Write implements stm.TM: buffer the write; no shared state is
+// touched before commit.
+func (t *TM) Write(env *sim.Env, x model.TVar, v model.Value) stm.Status {
+	p := env.Proc()
+	tx := t.txn(p)
+	env.Yield()
+	tx.writes[x] = v
+	return stm.OK
+}
+
+// TryCommit implements stm.TM: read-only transactions commit
+// immediately (their reads were validated against rv); update
+// transactions lock their write set in variable order, validate the
+// read set, publish, and release. A crash between acquisition and
+// release leaves the locks held.
+func (t *TM) TryCommit(env *sim.Env) stm.Status {
+	p := env.Proc()
+	tx := t.txn(p)
+	env.Yield()
+	if len(tx.writes) == 0 {
+		tx.active = false
+		return stm.OK
+	}
+
+	order := make([]model.TVar, 0, len(tx.writes))
+	for x := range tx.writes {
+		order = append(order, x)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	acquired := 0
+	releaseAndAbort := func() stm.Status {
+		for _, x := range order[:acquired] {
+			t.rec(x).owner = 0
+		}
+		return t.abort(tx)
+	}
+	for _, x := range order {
+		env.Yield() // crash point: locks acquired so far stay held
+		r := t.rec(x)
+		if r.owner != 0 {
+			return releaseAndAbort()
+		}
+		if _, alsoRead := tx.reads[x]; alsoRead && r.version > tx.rv {
+			return releaseAndAbort()
+		}
+		r.owner = p
+		acquired++
+	}
+
+	env.Yield()
+	// Validate the read set against rv.
+	for x := range tx.reads {
+		r := t.rec(x)
+		if (r.owner != 0 && r.owner != p) || r.version > tx.rv {
+			return releaseAndAbort()
+		}
+	}
+
+	// Final crash point: every lock is held, nothing is published. A
+	// crash here is the scenario of §3.2.3 — commit-time locks held
+	// forever. Publication and release then happen in one atomic
+	// slice: a half-published commit would make the recorded history
+	// unaccountable (the transaction would be neither committed nor
+	// cleanly absent), which models the write-back being protected by
+	// the very locks being released.
+	env.Yield()
+	t.clock++
+	wv := t.clock
+	for _, x := range order {
+		r := t.rec(x)
+		r.value = tx.writes[x]
+		r.version = wv
+		r.owner = 0
+	}
+	tx.active = false
+	return stm.OK
+}

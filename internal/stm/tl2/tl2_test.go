@@ -1,0 +1,128 @@
+package tl2
+
+import (
+	"testing"
+
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/stmtest"
+)
+
+func factory(nProcs, nVars int) stm.TM { return New() }
+
+func TestConformance(t *testing.T) {
+	stmtest.Conformance(t, factory)
+}
+
+func TestFaultFreeProgress(t *testing.T) {
+	counts := stmtest.FaultFree(factory, 3, 6000, 31)
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("process %d never committed fault-free", p)
+		}
+	}
+}
+
+// TestCrashMidCommitBlocks: TL2 holds locks only inside TryCommit, but
+// a crash in that window leaves them held forever — TL2 ensures solo
+// progress only in crash-free systems (§3.2.3).
+func TestCrashMidCommitBlocks(t *testing.T) {
+	worst := stmtest.CrashSweep(factory, 600, 60, 13)
+	if worst != 0 {
+		t.Errorf("worst-case survivor commits = %d, want 0 (crash inside the commit window)", worst)
+	}
+}
+
+// TestParasiticHarmless: deferred updates mean a parasitic process
+// holds nothing; the correct process keeps committing. This is the
+// paper's distinction between TL2 and encounter-time TMs.
+func TestParasiticHarmless(t *testing.T) {
+	if got := stmtest.Parasitic(factory, 4000, 13); got == 0 {
+		t.Error("a parasitic writer must not block TL2")
+	}
+}
+
+// TestParasiticReaderHarmless mirrors the writer case.
+func TestParasiticReaderHarmless(t *testing.T) {
+	tm := New()
+	s := sim.New(sim.NewSeeded(8))
+	defer s.Close()
+	var c2 int
+	_ = s.Spawn(1, stmtest.ParasiticReaderBody(tm, 0))
+	_ = s.Spawn(2, stmtest.CounterBody(tm, 0, &c2))
+	s.Run(4000)
+	if c2 == 0 {
+		t.Error("a parasitic reader must not block TL2")
+	}
+}
+
+// TestCrashOutsideCommitHarmless: crashing between operations (not
+// inside TryCommit) leaves no locks held; TL2 recovers. This pins down
+// *why* the crash sweep finds zero: only the commit window is fatal.
+func TestCrashOutsideCommitHarmless(t *testing.T) {
+	tm := New()
+	s := sim.New(&sim.RoundRobin{})
+	defer s.Close()
+	var c2 int
+	_ = s.Spawn(1, func(env *sim.Env) {
+		tm.Write(env, 0, 7) // buffered only
+		for {
+			env.Yield()
+		}
+	})
+	_ = s.Spawn(2, stmtest.CounterBody(tm, 0, &c2))
+	s.Run(50)
+	s.Crash(1)
+	before := c2
+	s.Run(2000)
+	if c2 == before {
+		t.Error("a crash outside the commit window must not block TL2")
+	}
+}
+
+// TestReadYourOwnBufferedWrite: deferred updates still satisfy
+// read-your-writes inside a transaction.
+func TestReadYourOwnBufferedWrite(t *testing.T) {
+	tm := New()
+	env := sim.Background(1)
+	if st := tm.Write(env, 0, 3); st != stm.OK {
+		t.Fatal("write")
+	}
+	v, st := tm.Read(env, 0)
+	if st != stm.OK || v != 3 {
+		t.Fatalf("read own buffered write = %d,%v; want 3,ok", v, st)
+	}
+}
+
+// TestStaleReadAborts: a transaction that started before a concurrent
+// commit cannot read the newer version (its read version is older).
+func TestStaleReadAborts(t *testing.T) {
+	tm := New()
+	env1, env2 := sim.Background(1), sim.Background(2)
+	// p1 starts a transaction by reading x1 (rv = 0).
+	if _, st := tm.Read(env1, 1); st != stm.OK {
+		t.Fatal("p1 read x1")
+	}
+	// p2 commits x0 := 5, advancing the clock.
+	if st := tm.Write(env2, 0, 5); st != stm.OK {
+		t.Fatal("p2 write")
+	}
+	if st := tm.TryCommit(env2); st != stm.OK {
+		t.Fatal("p2 commit")
+	}
+	// p1 now reads x0: version (1) > rv (0) — must abort, not return 5.
+	if _, st := tm.Read(env1, 0); st != stm.Aborted {
+		t.Fatal("stale transaction must abort rather than mix snapshots")
+	}
+}
+
+// TestWriteNeverAbortsBeforeCommit: writes are local.
+func TestWriteNeverAbortsBeforeCommit(t *testing.T) {
+	tm := New()
+	env := sim.Background(1)
+	for i := 0; i < 100; i++ {
+		if st := tm.Write(env, 0, 1); st != stm.OK {
+			t.Fatal("buffered write aborted")
+		}
+	}
+}

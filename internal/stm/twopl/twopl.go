@@ -1,0 +1,226 @@
+// Package twopl implements strict two-phase locking with deadlock
+// detection — the classic blocking concurrency control, included
+// because the paper's model deliberately covers blocking TMs (the
+// global lock of §1.1 is its degenerate form). Transactions take
+// per-variable read/write locks as they go and hold them to the end;
+// a lock conflict blocks (yield-spins) unless it would close a cycle
+// in the wait-for graph, in which case the requester aborts.
+//
+// Liveness class: like TinySTM's row — solo progress only in systems
+// that are both crash-free and parasitic-free — but for blocking
+// reasons: a crashed or parasitic lock holder blocks conflicting
+// transactions *without* aborting them (their operations simply never
+// return), whereas encounter-time TMs abort them forever. Deadlock
+// detection keeps the fault-free case live where naive 2PL would hang.
+package twopl
+
+import (
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+)
+
+type lockMode int
+
+const (
+	unlocked lockMode = iota
+	shared
+	exclusive
+)
+
+type varLock struct {
+	mode    lockMode
+	holders map[model.Proc]bool // readers under shared, one writer under exclusive
+	value   model.Value
+	undo    model.Value // pre-image for the exclusive holder
+}
+
+type txn struct {
+	active bool
+	locked []model.TVar // variables this transaction holds (in order)
+}
+
+// TM is the strict-2PL TM.
+type TM struct {
+	vars    map[model.TVar]*varLock
+	txns    map[model.Proc]*txn
+	waiting map[model.Proc]model.TVar // who waits for which variable
+}
+
+var _ stm.TM = (*TM)(nil)
+
+// New returns an empty instance.
+func New() *TM {
+	return &TM{
+		vars:    make(map[model.TVar]*varLock),
+		txns:    make(map[model.Proc]*txn),
+		waiting: make(map[model.Proc]model.TVar),
+	}
+}
+
+// Name implements stm.TM.
+func (t *TM) Name() string { return "2pl" }
+
+func (t *TM) lk(x model.TVar) *varLock {
+	l, ok := t.vars[x]
+	if !ok {
+		l = &varLock{holders: make(map[model.Proc]bool), value: model.InitialValue}
+		t.vars[x] = l
+	}
+	return l
+}
+
+func (t *TM) txn(p model.Proc) *txn {
+	tx, ok := t.txns[p]
+	if !ok || !tx.active {
+		tx = &txn{active: true}
+		t.txns[p] = tx
+	}
+	return tx
+}
+
+// wouldDeadlock reports whether p waiting for x closes a cycle in the
+// wait-for graph: following holders of x through their own waits
+// reaches p.
+func (t *TM) wouldDeadlock(p model.Proc, x model.TVar) bool {
+	visited := make(map[model.Proc]bool)
+	var stack []model.Proc
+	for q := range t.lk(x).holders {
+		if q != p {
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if q == p {
+			return true
+		}
+		if visited[q] {
+			continue
+		}
+		visited[q] = true
+		if wx, waits := t.waiting[q]; waits {
+			for r := range t.lk(wx).holders {
+				if r != q {
+					stack = append(stack, r)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// grantable reports whether p can take x in the given mode now.
+func (t *TM) grantable(p model.Proc, x model.TVar, mode lockMode) bool {
+	l := t.lk(x)
+	switch l.mode {
+	case unlocked:
+		return true
+	case shared:
+		if mode == shared {
+			return true
+		}
+		// Upgrade allowed only when p is the sole reader.
+		return len(l.holders) == 1 && l.holders[p]
+	default: // exclusive
+		return l.holders[p]
+	}
+}
+
+// acquire blocks (yield-spinning) until p holds x in the requested
+// mode, or returns false when waiting would deadlock (the requester is
+// chosen as the victim).
+func (t *TM) acquire(env *sim.Env, p model.Proc, x model.TVar, mode lockMode) bool {
+	tx := t.txn(p)
+	for {
+		env.Yield()
+		if t.grantable(p, x, mode) {
+			l := t.lk(x)
+			if !l.holders[p] {
+				l.holders[p] = true
+				tx.locked = append(tx.locked, x)
+			}
+			if mode == exclusive && l.mode != exclusive {
+				l.mode = exclusive
+				l.undo = l.value
+			} else if l.mode == unlocked {
+				l.mode = shared
+			}
+			delete(t.waiting, p)
+			return true
+		}
+		if t.wouldDeadlock(p, x) {
+			delete(t.waiting, p)
+			t.rollback(p)
+			return false
+		}
+		t.waiting[p] = x
+	}
+}
+
+// rollback restores pre-images of exclusively held variables and
+// releases all of p's locks.
+func (t *TM) rollback(p model.Proc) {
+	tx := t.txns[p]
+	for _, x := range tx.locked {
+		l := t.lk(x)
+		if !l.holders[p] {
+			continue
+		}
+		if l.mode == exclusive {
+			l.value = l.undo
+		}
+		delete(l.holders, p)
+		if len(l.holders) == 0 {
+			l.mode = unlocked
+		}
+	}
+	tx.active = false
+}
+
+// release frees all of p's locks, keeping the written values.
+func (t *TM) release(p model.Proc) {
+	tx := t.txns[p]
+	for _, x := range tx.locked {
+		l := t.lk(x)
+		delete(l.holders, p)
+		if len(l.holders) == 0 {
+			l.mode = unlocked
+		}
+	}
+	tx.active = false
+}
+
+// Read implements stm.TM: take a shared lock and read in place.
+func (t *TM) Read(env *sim.Env, x model.TVar) (model.Value, stm.Status) {
+	p := env.Proc()
+	t.txn(p)
+	if !t.acquire(env, p, x, shared) {
+		return 0, stm.Aborted
+	}
+	env.Yield()
+	return t.lk(x).value, stm.OK
+}
+
+// Write implements stm.TM: take an exclusive lock (possibly an
+// upgrade) and write in place with an undo image.
+func (t *TM) Write(env *sim.Env, x model.TVar, v model.Value) stm.Status {
+	p := env.Proc()
+	t.txn(p)
+	if !t.acquire(env, p, x, exclusive) {
+		return stm.Aborted
+	}
+	env.Yield()
+	t.lk(x).value = v
+	return stm.OK
+}
+
+// TryCommit implements stm.TM: strict 2PL commits by releasing.
+func (t *TM) TryCommit(env *sim.Env) stm.Status {
+	p := env.Proc()
+	t.txn(p)
+	env.Yield()
+	t.release(p)
+	return stm.OK
+}

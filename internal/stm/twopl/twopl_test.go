@@ -1,0 +1,198 @@
+package twopl
+
+import (
+	"testing"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/stmtest"
+)
+
+func factory(nProcs, nVars int) stm.TM { return New() }
+
+func TestConformance(t *testing.T) {
+	stmtest.Conformance(t, factory)
+}
+
+func TestFaultFreeProgress(t *testing.T) {
+	counts := stmtest.FaultFree(factory, 3, 8000, 67)
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("process %d never committed fault-free", p)
+		}
+	}
+}
+
+// TestDeadlockDetected: the classic upgrade deadlock — two readers of
+// the same variable both upgrade to write. One must be chosen as the
+// victim and aborted; the other commits.
+func TestDeadlockDetected(t *testing.T) {
+	tm := New()
+	s := sim.New(&sim.RoundRobin{})
+	defer s.Close()
+	results := map[model.Proc]stm.Status{}
+	body := func(env *sim.Env) {
+		p := env.Proc()
+		if _, st := tm.Read(env, 0); st != stm.OK {
+			results[p] = stm.Aborted
+			return
+		}
+		if st := tm.Write(env, 0, model.Value(p)); st != stm.OK {
+			results[p] = stm.Aborted
+			return
+		}
+		results[p] = tm.TryCommit(env)
+	}
+	_ = s.Spawn(1, body)
+	_ = s.Spawn(2, body)
+	if steps := s.Run(10000); steps >= 10000 {
+		t.Fatal("deadlock was not resolved: the run wedged")
+	}
+	aborted, committed := 0, 0
+	for _, st := range results {
+		if st == stm.OK {
+			committed++
+		} else {
+			aborted++
+		}
+	}
+	if committed != 1 || aborted != 1 {
+		t.Fatalf("results = %v; want exactly one victim and one winner", results)
+	}
+}
+
+// TestReadersShareWritersExclude: two concurrent readers proceed; a
+// writer waits for both.
+func TestReadersShareWritersExclude(t *testing.T) {
+	tm := New()
+	s := sim.New(&sim.RoundRobin{})
+	defer s.Close()
+	var reads, writes int
+	reader := func(env *sim.Env) {
+		if _, st := tm.Read(env, 0); st == stm.OK {
+			reads++
+		}
+		// Hold the read lock for a while before committing.
+		for i := 0; i < 20; i++ {
+			env.Yield()
+		}
+		tm.TryCommit(env)
+	}
+	_ = s.Spawn(1, reader)
+	_ = s.Spawn(2, reader)
+	_ = s.Spawn(3, func(env *sim.Env) {
+		if st := tm.Write(env, 0, 9); st == stm.OK {
+			writes++
+		}
+		tm.TryCommit(env)
+	})
+	s.Run(20000)
+	if reads != 2 {
+		t.Errorf("reads = %d, want 2 (shared locks coexist)", reads)
+	}
+	if writes != 1 {
+		t.Errorf("writes = %d, want 1 (the writer proceeds after the readers)", writes)
+	}
+	env := sim.Background(4)
+	v, st := tm.Read(env, 0)
+	if st != stm.OK || v != 9 {
+		t.Fatalf("final value = %d,%v; want 9", v, st)
+	}
+}
+
+// TestCrashHoldingLockBlocks: a crashed lock holder blocks conflicting
+// transactions forever — but by blocking, not by aborting them.
+func TestCrashHoldingLockBlocks(t *testing.T) {
+	worst := stmtest.CrashSweep(factory, 600, 50, 71)
+	if worst != 0 {
+		t.Errorf("worst-case survivor commits = %d, want 0", worst)
+	}
+}
+
+// TestParasiticWriterBlocks: a parasitic writer holds its exclusive
+// lock forever.
+func TestParasiticWriterBlocks(t *testing.T) {
+	if got := stmtest.Parasitic(factory, 4000, 71); got != 0 {
+		t.Errorf("survivor commits = %d, want 0", got)
+	}
+}
+
+// TestBlockedNotAborted: distinguishing 2PL's failure mode from the
+// encounter-time TMs — the victim of a crashed holder is stuck inside
+// its operation (pending invocation), not aborted over and over.
+func TestBlockedNotAborted(t *testing.T) {
+	tm := New()
+	rec := stm.NewRecorder(tm)
+	s := sim.New(&sim.RoundRobin{})
+	defer s.Close()
+	_ = s.Spawn(1, func(env *sim.Env) {
+		rec.Write(env, 0, 1) // exclusive lock, held at crash
+		for {
+			env.Yield()
+		}
+	})
+	s.Run(30)
+	s.Crash(1)
+	_ = s.Spawn(2, func(env *sim.Env) {
+		rec.Read(env, 0) // blocks forever
+	})
+	s.Run(2000)
+	stats := stm.Summarize(rec.History())
+	if !stats.PendingInv[2] {
+		t.Error("p2 must be blocked inside its read (pending invocation)")
+	}
+	if stats.Aborts[2] != 0 {
+		t.Errorf("p2 received %d aborts; 2PL blocks rather than aborts", stats.Aborts[2])
+	}
+}
+
+// TestAbortRestoresPreImages: the deadlock victim's in-place writes
+// are rolled back.
+func TestAbortRestoresPreImages(t *testing.T) {
+	tm := New()
+	s := sim.New(&sim.RoundRobin{})
+	defer s.Close()
+	// p1 writes x0 then tries x1; p2 writes x1 then tries x0: a
+	// write-write deadlock. The victim's write must be undone.
+	outcome := map[model.Proc]stm.Status{}
+	mk := func(a, b model.TVar) func(*sim.Env) {
+		return func(env *sim.Env) {
+			p := env.Proc()
+			if st := tm.Write(env, a, 100+model.Value(p)); st != stm.OK {
+				outcome[p] = stm.Aborted
+				return
+			}
+			if st := tm.Write(env, b, 200+model.Value(p)); st != stm.OK {
+				outcome[p] = stm.Aborted
+				return
+			}
+			outcome[p] = tm.TryCommit(env)
+		}
+	}
+	_ = s.Spawn(1, mk(0, 1))
+	_ = s.Spawn(2, mk(1, 0))
+	if steps := s.Run(10000); steps >= 10000 {
+		t.Fatal("write-write deadlock not resolved")
+	}
+	env := sim.Background(3)
+	v0, _ := tm.Read(env, 0)
+	v1, _ := tm.Read(env, 1)
+	if st := tm.TryCommit(env); st != stm.OK {
+		t.Fatal("audit commit")
+	}
+	// Exactly one of the two committed; both variables must reflect
+	// only the winner's transaction.
+	switch {
+	case outcome[1] == stm.OK && outcome[2] == stm.Aborted:
+		if v0 != 101 || v1 != 201 {
+			t.Fatalf("x0=%d x1=%d; want p1's 101/201 only", v0, v1)
+		}
+	case outcome[2] == stm.OK && outcome[1] == stm.Aborted:
+		if v1 != 102 || v0 != 202 {
+			t.Fatalf("x0=%d x1=%d; want p2's 202/102 only", v0, v1)
+		}
+	default:
+		t.Fatalf("outcomes = %v; want exactly one winner", outcome)
+	}
+}

@@ -1,0 +1,145 @@
+// Package trace renders histories in the visual style of the paper's
+// figures: one row per process, one column per operation, in global
+// time order.
+//
+//	p1 | r(x0)->0                      w(x0,1) tryC->A
+//	p2 |          r(x0)->0 w(x0,1) C
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"livetm/internal/model"
+)
+
+// cell is one rendered operation (invocation plus response, or a
+// pending invocation, or a completion abort).
+type cell struct {
+	proc model.Proc
+	text string
+	pos  int // invocation index in the history: column order
+}
+
+// Render formats the history as per-process rows. Malformed histories
+// are rendered best-effort (orphan responses become their own cells).
+func Render(h model.History) string {
+	cells := cellsOf(h)
+	if len(cells) == 0 {
+		return "(empty history)\n"
+	}
+	procs := h.Procs()
+
+	widths := make([]int, len(cells))
+	for i, c := range cells {
+		widths[i] = len([]rune(c.text)) + 1
+	}
+
+	var b strings.Builder
+	for _, p := range procs {
+		fmt.Fprintf(&b, "p%-2d |", p)
+		for i, c := range cells {
+			s := ""
+			if c.proc == p {
+				s = c.text
+			}
+			pad := widths[i] - len([]rune(s))
+			b.WriteString(" " + s + strings.Repeat(" ", pad-1))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func cellsOf(h model.History) []*cell {
+	var cells []*cell
+	pending := make(map[model.Proc]*cell) // open invocation cells
+	add := func(c *cell) *cell {
+		cells = append(cells, c)
+		return c
+	}
+	flush := func(p model.Proc) {
+		if c := pending[p]; c != nil {
+			c.text += "…" // never answered within the history
+			pending[p] = nil
+		}
+	}
+	for i, e := range h {
+		switch e.Kind {
+		case model.InvRead:
+			flush(e.Proc)
+			pending[e.Proc] = add(&cell{proc: e.Proc, text: fmt.Sprintf("r(x%d)", e.Var), pos: i})
+		case model.InvWrite:
+			flush(e.Proc)
+			pending[e.Proc] = add(&cell{proc: e.Proc, text: fmt.Sprintf("w(x%d,%d)", e.Var, e.Val), pos: i})
+		case model.InvTryCommit:
+			flush(e.Proc)
+			pending[e.Proc] = add(&cell{proc: e.Proc, text: "tryC", pos: i})
+		case model.RespValue:
+			if c := pending[e.Proc]; c != nil {
+				c.text += fmt.Sprintf("->%d", e.Val)
+				pending[e.Proc] = nil
+			} else {
+				add(&cell{proc: e.Proc, text: fmt.Sprintf("%d?", e.Val), pos: i})
+			}
+		case model.RespOK:
+			pending[e.Proc] = nil // "w(x,v)" already says it all
+		case model.RespCommit:
+			if c := pending[e.Proc]; c != nil {
+				c.text = "C"
+				pending[e.Proc] = nil
+			} else {
+				add(&cell{proc: e.Proc, text: "C?", pos: i})
+			}
+		case model.RespAbort:
+			if c := pending[e.Proc]; c != nil {
+				c.text += "->A"
+				pending[e.Proc] = nil
+			} else {
+				add(&cell{proc: e.Proc, text: "A", pos: i})
+			}
+		}
+	}
+	// Mark invocations still open at the end of the history.
+	for _, c := range pending {
+		if c != nil {
+			c.text += "…"
+		}
+	}
+	return cells
+}
+
+// Summary renders the per-process transaction outcomes of a history,
+// e.g. "p1: 3 committed, 2 aborted, 1 live".
+func Summary(h model.History) string {
+	txns, err := model.Transactions(h)
+	if err != nil {
+		return fmt.Sprintf("(malformed history: %v)", err)
+	}
+	type counts struct{ c, a, l int }
+	per := make(map[model.Proc]*counts)
+	for _, t := range txns {
+		c, ok := per[t.Proc]
+		if !ok {
+			c = &counts{}
+			per[t.Proc] = c
+		}
+		switch t.Status {
+		case model.Committed:
+			c.c++
+		case model.Aborted:
+			c.a++
+		default:
+			c.l++
+		}
+	}
+	var b strings.Builder
+	for _, p := range h.Procs() {
+		c := per[p]
+		if c == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "p%d: %d committed, %d aborted, %d live\n", p, c.c, c.a, c.l)
+	}
+	return b.String()
+}

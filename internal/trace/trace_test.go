@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"livetm/internal/model"
+)
+
+func fig1() model.History {
+	return model.History{
+		model.Read(1, 0), model.ValueResp(1, 0),
+		model.Read(2, 0), model.ValueResp(2, 0),
+		model.Write(2, 0, 1), model.OK(2),
+		model.TryCommit(2), model.Commit(2),
+		model.Write(1, 0, 1), model.OK(1),
+		model.TryCommit(1), model.Abort(1),
+	}
+}
+
+func TestRenderFig1(t *testing.T) {
+	out := Render(fig1())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rendered %d rows, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "p1 ") || !strings.HasPrefix(lines[1], "p2 ") {
+		t.Errorf("rows must be labeled p1, p2:\n%s", out)
+	}
+	for _, want := range []string{"r(x0)->0", "w(x0,1)", "C", "tryC->A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// p1's aborted commit is on row 1, p2's C on row 2.
+	if !strings.Contains(lines[0], "tryC->A") {
+		t.Errorf("p1's row should end with tryC->A:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "C") {
+		t.Errorf("p2's row should contain C:\n%s", out)
+	}
+}
+
+func TestRenderColumnsAlign(t *testing.T) {
+	out := Render(fig1())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len([]rune(lines[0])) != len([]rune(lines[1])) {
+		t.Errorf("rows must have equal width:\n%q\n%q", lines[0], lines[1])
+	}
+	// Columns are disjoint: wherever p1 has text, p2 has spaces (after
+	// the row label).
+	r0, r1 := []rune(lines[0])[5:], []rune(lines[1])[5:]
+	for i := range r0 {
+		if r0[i] != ' ' && r1[i] != ' ' {
+			t.Fatalf("overlapping cells at column %d:\n%s", i, out)
+		}
+	}
+}
+
+func TestRenderPendingInvocation(t *testing.T) {
+	h := model.History{model.Read(1, 0)}
+	out := Render(h)
+	if !strings.Contains(out, "r(x0)…") {
+		t.Errorf("pending invocation must be marked: %q", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil); !strings.Contains(got, "empty") {
+		t.Errorf("Render(nil) = %q", got)
+	}
+}
+
+func TestRenderCompletionAbort(t *testing.T) {
+	h := model.History{model.Read(1, 0), model.ValueResp(1, 0), model.Abort(1)}
+	out := Render(h)
+	if !strings.Contains(out, "A") {
+		t.Errorf("completion abort must render as A: %q", out)
+	}
+}
+
+func TestRenderOrphanResponses(t *testing.T) {
+	h := model.History{model.ValueResp(1, 3), model.Commit(2)}
+	out := Render(h)
+	if !strings.Contains(out, "3?") || !strings.Contains(out, "C?") {
+		t.Errorf("orphan responses must render best-effort: %q", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := model.NewBuilder().
+		Read(1, 0, 0).Commit(1).
+		Read(1, 0, 0).CommitAbort(1).
+		Raw(model.Read(2, 0)).
+		History()
+	s := Summary(h)
+	if !strings.Contains(s, "p1: 1 committed, 1 aborted, 0 live") {
+		t.Errorf("summary = %q", s)
+	}
+	if !strings.Contains(s, "p2: 0 committed, 0 aborted, 1 live") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestSummaryMalformed(t *testing.T) {
+	s := Summary(model.History{model.OK(1)})
+	if !strings.Contains(s, "malformed") {
+		t.Errorf("summary of malformed history = %q", s)
+	}
+}

@@ -1,0 +1,33 @@
+package tstruct_test
+
+import (
+	"fmt"
+
+	"livetm/internal/sim"
+	"livetm/internal/stm/ostm"
+	"livetm/internal/tstruct"
+)
+
+// A bounded FIFO queue over t-variables: every operation is one
+// transaction.
+func ExampleQueue() {
+	q, _ := tstruct.NewQueue(ostm.New(), 0, 4)
+	env := sim.Background(1)
+	_ = q.Enqueue(env, 10)
+	_ = q.Enqueue(env, 20)
+	v, _ := q.Dequeue(env)
+	fmt.Println(v, q.Len(env))
+	// Output:
+	// 10 1
+}
+
+// A fixed-capacity set with snapshot membership.
+func ExampleSet() {
+	s, _ := tstruct.NewSet(ostm.New(), 0, 8)
+	env := sim.Background(1)
+	_, _ = s.Add(env, 5)
+	_, _ = s.Add(env, 5) // duplicate: no change
+	fmt.Println(s.Len(env), s.Contains(env, 5), s.Contains(env, 6))
+	// Output:
+	// 1 true false
+}

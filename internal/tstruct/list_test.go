@@ -1,0 +1,133 @@
+package tstruct
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+)
+
+func TestListSortedSemantics(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			l, err := NewList(f(1, 30), 0, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := sim.Background(1)
+			for _, k := range []model.Value{5, 1, 9, 3, 7} {
+				added, err := l.Insert(env, k)
+				if err != nil || !added {
+					t.Fatalf("insert %d: %v,%v", k, added, err)
+				}
+			}
+			if added, _ := l.Insert(env, 5); added {
+				t.Fatal("duplicate insert must report no change")
+			}
+			snap := l.Snapshot(env)
+			want := []model.Value{1, 3, 5, 7, 9}
+			if len(snap) != len(want) {
+				t.Fatalf("snapshot = %v, want %v", snap, want)
+			}
+			for i := range want {
+				if snap[i] != want[i] {
+					t.Fatalf("snapshot = %v, want %v (sorted)", snap, want)
+				}
+			}
+			if !l.Contains(env, 7) || l.Contains(env, 8) {
+				t.Fatal("membership")
+			}
+			if !l.Remove(env, 5) || l.Remove(env, 5) {
+				t.Fatal("remove semantics")
+			}
+			if l.Contains(env, 5) {
+				t.Fatal("5 was removed")
+			}
+			// Remove the head and the tail.
+			if !l.Remove(env, 1) || !l.Remove(env, 9) {
+				t.Fatal("removing extremes")
+			}
+			snap = l.Snapshot(env)
+			if len(snap) != 2 || snap[0] != 3 || snap[1] != 7 {
+				t.Fatalf("snapshot = %v, want [3 7]", snap)
+			}
+		})
+	}
+}
+
+func TestListArenaExhaustion(t *testing.T) {
+	l, err := NewList(factories()["tl2"](1, 10), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.Background(1)
+	if _, err := l.Insert(env, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Insert(env, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Insert(env, 3); !errors.Is(err, ErrFull) {
+		t.Fatalf("insert into full arena: %v, want ErrFull", err)
+	}
+	// Re-inserting an existing key needs no allocation.
+	if added, err := l.Insert(env, 2); err != nil || added {
+		t.Fatalf("existing key: %v,%v", added, err)
+	}
+}
+
+func TestListValidation(t *testing.T) {
+	if _, err := NewList(factories()["tl2"](1, 4), 0, 0); err == nil {
+		t.Error("zero-capacity list must be rejected")
+	}
+}
+
+// TestListConcurrentLinearizable: concurrent inserts/removes of
+// disjoint and overlapping keys; the final snapshot must equal the
+// sequential effect of the committed operations.
+func TestListConcurrentLinearizable(t *testing.T) {
+	for _, name := range []string{"tl2", "dstm", "ostm", "fgp"} {
+		f := factories()[name]
+		t.Run(name, func(t *testing.T) {
+			l, err := NewList(f(3, 50), 0, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sim.New(sim.NewSeeded(23))
+			defer s.Close()
+			inserted := make([][]model.Value, 2)
+			for i := 0; i < 2; i++ {
+				p := model.Proc(i + 1)
+				idx := i
+				keys := []model.Value{model.Value(10*idx + 1), model.Value(10*idx + 2), model.Value(10*idx + 3)}
+				_ = s.Spawn(p, func(env *sim.Env) {
+					for _, k := range keys {
+						if added, err := l.Insert(env, k); err == nil && added {
+							inserted[idx] = append(inserted[idx], k)
+						}
+					}
+				})
+			}
+			if steps := s.Run(100000); steps >= 100000 {
+				t.Fatal("list workload wedged")
+			}
+			var want []model.Value
+			for _, ks := range inserted {
+				want = append(want, ks...)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			env := sim.Background(3)
+			snap := l.Snapshot(env)
+			if len(snap) != len(want) {
+				t.Fatalf("snapshot = %v, want %v", snap, want)
+			}
+			for i := range want {
+				if snap[i] != want[i] {
+					t.Fatalf("snapshot = %v, want %v", snap, want)
+				}
+			}
+		})
+	}
+}

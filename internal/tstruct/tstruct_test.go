@@ -1,0 +1,235 @@
+package tstruct
+
+import (
+	"errors"
+	"testing"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+	"livetm/internal/stm/dstm"
+	"livetm/internal/stm/fgptm"
+	"livetm/internal/stm/glock"
+	"livetm/internal/stm/norec"
+	"livetm/internal/stm/ostm"
+	"livetm/internal/stm/tiny"
+	"livetm/internal/stm/tl2"
+)
+
+func factories() map[string]stm.Factory {
+	return map[string]stm.Factory{
+		"glock": func(n, v int) stm.TM { return glock.New() },
+		"tiny":  func(n, v int) stm.TM { return tiny.New() },
+		"tl2":   func(n, v int) stm.TM { return tl2.New() },
+		"norec": func(n, v int) stm.TM { return norec.New() },
+		"dstm":  func(n, v int) stm.TM { return dstm.New() },
+		"ostm":  func(n, v int) stm.TM { return ostm.New() },
+		"fgp": func(n, v int) stm.TM {
+			tm, err := fgptm.New(n, v)
+			if err != nil {
+				panic(err)
+			}
+			return tm
+		},
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			q, err := NewQueue(f(1, 12), 0, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := sim.Background(1)
+			for i := 1; i <= 4; i++ {
+				if err := q.Enqueue(env, model.Value(i)); err != nil {
+					t.Fatalf("enqueue %d: %v", i, err)
+				}
+			}
+			if err := q.Enqueue(env, 5); !errors.Is(err, ErrFull) {
+				t.Fatalf("enqueue into full queue: %v, want ErrFull", err)
+			}
+			if got := q.Len(env); got != 4 {
+				t.Fatalf("len = %d, want 4", got)
+			}
+			for i := 1; i <= 4; i++ {
+				v, err := q.Dequeue(env)
+				if err != nil || v != model.Value(i) {
+					t.Fatalf("dequeue = %d,%v; want %d,nil", v, err, i)
+				}
+			}
+			if _, err := q.Dequeue(env); !errors.Is(err, ErrEmpty) {
+				t.Fatalf("dequeue from empty: %v, want ErrEmpty", err)
+			}
+		})
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q, err := NewQueue(tl2.New(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.Background(1)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			if err := q.Enqueue(env, model.Value(round*3+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, err := q.Dequeue(env)
+			if err != nil || v != model.Value(round*3+i) {
+				t.Fatalf("round %d: dequeue = %d,%v", round, v, err)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewQueue(tl2.New(), 0, 0); err == nil {
+		t.Error("zero-capacity queue must be rejected")
+	}
+	if _, err := NewSet(tl2.New(), 0, -1); err == nil {
+		t.Error("negative-capacity set must be rejected")
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s, err := NewSet(f(1, 8), 0, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := sim.Background(1)
+			if added, err := s.Add(env, 7); err != nil || !added {
+				t.Fatalf("add 7: %v,%v", added, err)
+			}
+			if added, err := s.Add(env, 7); err != nil || added {
+				t.Fatal("re-adding must report no change")
+			}
+			if !s.Contains(env, 7) || s.Contains(env, 8) {
+				t.Fatal("membership")
+			}
+			for _, v := range []model.Value{1, 2, 3} {
+				if _, err := s.Add(env, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.Add(env, 9); !errors.Is(err, ErrFull) {
+				t.Fatalf("add to full set: %v, want ErrFull", err)
+			}
+			if !s.Remove(env, 7) {
+				t.Fatal("remove present element")
+			}
+			if s.Remove(env, 7) {
+				t.Fatal("removing twice must report no change")
+			}
+			if s.Len(env) != 3 {
+				t.Fatalf("len = %d, want 3", s.Len(env))
+			}
+			snap := s.Snapshot(env)
+			if len(snap) != 3 {
+				t.Fatalf("snapshot = %v", snap)
+			}
+		})
+	}
+}
+
+// TestQueueConcurrentConservation: producers and consumers on the
+// same queue; nothing is lost or duplicated.
+func TestQueueConcurrentConservation(t *testing.T) {
+	for _, name := range []string{"tl2", "dstm", "ostm"} {
+		f := factories()[name]
+		t.Run(name, func(t *testing.T) {
+			q, err := NewQueue(f(4, 20), 0, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sim.New(sim.NewSeeded(17))
+			defer s.Close()
+			const perProducer = 25
+			seen := make(map[model.Value]int)
+			var consumed int
+			for i := 0; i < 2; i++ {
+				p := model.Proc(i + 1)
+				base := model.Value((i + 1) * 1000)
+				_ = s.Spawn(p, func(env *sim.Env) {
+					for k := 0; k < perProducer; {
+						if err := q.Enqueue(env, base+model.Value(k)); err == nil {
+							k++
+						}
+					}
+				})
+			}
+			_ = s.Spawn(3, func(env *sim.Env) {
+				for consumed < 2*perProducer {
+					v, err := q.Dequeue(env)
+					if err == nil {
+						seen[v]++
+						consumed++
+					}
+				}
+			})
+			if steps := s.Run(300000); steps >= 300000 {
+				t.Fatal("queue workload wedged")
+			}
+			if consumed != 2*perProducer {
+				t.Fatalf("consumed %d, want %d", consumed, 2*perProducer)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Errorf("value %d seen %d times", v, n)
+				}
+			}
+		})
+	}
+}
+
+// TestSetConcurrentInvariant: concurrent adders/removers never
+// corrupt the size field or duplicate elements.
+func TestSetConcurrentInvariant(t *testing.T) {
+	f := factories()["ostm"]
+	s := sim.New(sim.NewSeeded(19))
+	defer s.Close()
+	set, err := NewSet(f(3, 10), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		p := model.Proc(i + 1)
+		_ = s.Spawn(p, func(env *sim.Env) {
+			state := uint64(p) * 7
+			for {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				v := model.Value(state % 6)
+				if state%2 == 0 {
+					_, _ = set.Add(env, v)
+				} else {
+					set.Remove(env, v)
+				}
+			}
+		})
+	}
+	bad := 0
+	_ = s.Spawn(3, func(env *sim.Env) {
+		for {
+			snap := set.Snapshot(env)
+			dup := make(map[model.Value]bool)
+			for _, v := range snap {
+				if dup[v] {
+					bad++
+				}
+				dup[v] = true
+			}
+		}
+	})
+	s.Run(20000)
+	if bad != 0 {
+		t.Errorf("%d snapshots contained duplicates", bad)
+	}
+}

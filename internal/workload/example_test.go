@@ -1,0 +1,37 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm/tl2"
+	"livetm/internal/workload"
+)
+
+// Atomically retries the body until it commits.
+func ExampleAtomically() {
+	tm := tl2.New()
+	env := sim.Background(1)
+	attempts := workload.Atomically(tm, env, func(tx *workload.Tx) {
+		v := tx.Read(0)
+		tx.Write(0, v+10)
+	})
+	var got model.Value
+	workload.Atomically(tm, env, func(tx *workload.Tx) { got = tx.Read(0) })
+	fmt.Println(attempts, got)
+	// Output:
+	// 1 10
+}
+
+// A transactional bank conserves its total under any TM.
+func ExampleBank() {
+	tm := tl2.New()
+	env := sim.Background(1)
+	bank := workload.NewBank(tm, env, 4, 100)
+	bank.Transfer(env, 0, 1, 30)
+	bank.Transfer(env, 1, 2, 50)
+	fmt.Println(bank.Total(env))
+	// Output:
+	// 400
+}
