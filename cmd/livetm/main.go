@@ -48,16 +48,28 @@
 //
 //	livetm tms
 //	    List the registered TM implementations.
+//
+//	livetm engines
+//	    List every (algorithm, substrate) engine behind the unified
+//	    engine API with its capabilities.
+//
+//	livetm workloads [-procs LIST] [-simsteps N] [-ops N] [-out FILE]
+//	    Run the declared workload matrix on every engine of both
+//	    substrates and print the result table (optionally writing the
+//	    BENCH_native.json artifact).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"livetm/internal/adversary"
 	"livetm/internal/automaton"
 	"livetm/internal/core"
+	"livetm/internal/engine"
 	"livetm/internal/explore"
 	"livetm/internal/fgp"
 	"livetm/internal/liveness"
@@ -66,6 +78,7 @@ import (
 	"livetm/internal/sim"
 	"livetm/internal/stm"
 	"livetm/internal/trace"
+	"livetm/internal/workload"
 )
 
 func main() {
@@ -105,6 +118,10 @@ func run(args []string) error {
 		return cmdReport(args[1:])
 	case "tms":
 		return cmdTMs()
+	case "engines":
+		return cmdEngines()
+	case "workloads":
+		return cmdWorkloads(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -115,7 +132,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: livetm <matrix|check|classify|adversary|theorem1|theorem3|fgp-states|fgp-dot|explore|lattice|report|tms> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: livetm <matrix|check|classify|adversary|theorem1|theorem3|fgp-states|fgp-dot|explore|lattice|report|tms|engines|workloads> [flags]")
 }
 
 func cmdCheck(args []string) error {
@@ -516,6 +533,62 @@ func cmdTMs() error {
 		fmt.Printf("%-16s %s  (expected: fault-free=%v crash=%v parasitic=%v)\n",
 			nf.Name, kind,
 			nf.Expected.LocalFaultFree, nf.Expected.SoloUnderCrash, nf.Expected.SoloUnderParasitic)
+	}
+	return nil
+}
+
+func cmdEngines() error {
+	ablation := map[string]bool{}
+	for _, nf := range core.Registry(true) {
+		if nf.Ablation {
+			ablation["sim-"+nf.Name] = true
+		}
+	}
+	for _, e := range engine.Engines(true) {
+		caps := e.Capabilities()
+		note := ""
+		if ablation[e.Name()] {
+			note = "  (ablation variant; excluded unless `workloads -ablations`)"
+		}
+		fmt.Printf("%-20s substrate=%-6s real-concurrency=%-5v deterministic=%-5v recording=%-5v nonblocking=%-5v%s\n",
+			e.Name(), caps.Substrate, caps.RealConcurrency,
+			caps.DeterministicReplay, caps.HistoryRecording, caps.Nonblocking, note)
+	}
+	return nil
+}
+
+func cmdWorkloads(args []string) error {
+	fs := flag.NewFlagSet("workloads", flag.ContinueOnError)
+	procsArg := fs.String("procs", "1,2,4", "comma-separated process counts")
+	simSteps := fs.Int("simsteps", 2000, "scheduler steps per simulated cell")
+	ops := fs.Int("ops", 500, "committed transactions per process per native cell")
+	out := fs.String("out", "", "also write the BENCH_native.json artifact here")
+	ablations := fs.Bool("ablations", false, "include the simulated ablation variants")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var procs []int
+	for _, part := range strings.Split(*procsArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("workloads: bad process count %q", part)
+		}
+		procs = append(procs, n)
+	}
+	engines := engine.Engines(*ablations)
+	specs := workload.Matrix(procs)
+	budget := workload.Budget{SimSteps: *simSteps, NativeOps: *ops}
+	fmt.Printf("running %d workloads × %d engines...\n", len(specs), len(engines))
+	results, err := workload.RunMatrix(engines, specs, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Print(workload.FormatResults(results))
+	if *out != "" {
+		if err := workload.WriteArtifact(*out, budget, results); err != nil {
+			return err
+		}
+		fmt.Printf("artifact written to %s (%d cells)\n", *out, len(results))
 	}
 	return nil
 }

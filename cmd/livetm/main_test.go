@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -133,5 +134,24 @@ func TestCmdLattice(t *testing.T) {
 func TestCmdReport(t *testing.T) {
 	if err := run([]string{"report", "-quick"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCmdEngines(t *testing.T) {
+	if err := run([]string{"engines"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdWorkloads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_native.json")
+	if err := run([]string{"workloads", "-procs", "2", "-simsteps", "300", "-ops", "20", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	if err := run([]string{"workloads", "-procs", "zero"}); err == nil {
+		t.Error("bad process list must error")
 	}
 }

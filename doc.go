@@ -4,12 +4,23 @@
 // opacity and strict serializability, the paper's TM-liveness
 // properties over eventually-periodic infinite histories, the Fgp
 // global-progress automaton, the impossibility adversaries of Theorem
-// 1, and six TM implementations (global lock, TinySTM-, TL2-, DSTM-,
-// OSTM-style, and Fgp) classified under crash and parasitic fault
-// injection.
+// 1, and the TM implementations (global lock, TinySTM-, TL2-, DSTM-,
+// NOrec-, OSTM-style, 2PL, and Fgp) classified under crash and
+// parasitic fault injection.
+//
+// The TMs run on two substrates behind one engine API
+// (internal/engine): a deterministic cooperative simulator
+// (internal/sim + internal/stm/...) for the paper's adversarial
+// liveness and opacity experiments, and real-concurrency sync/atomic
+// implementations (internal/native) for the wall-clock scalability
+// argument of footnote 1. The workload matrix (internal/workload) is
+// declared once and executed against every (algorithm, substrate)
+// pair; see internal/engine's package documentation for when to use
+// which substrate.
 //
 // The implementation lives under internal/; see README.md for the
 // architecture, cmd/figures and cmd/livetm for the experiment
 // drivers, and bench_test.go in this directory for the benchmark
-// harness that regenerates every figure of the paper.
+// harness that regenerates every figure of the paper and writes the
+// BENCH_native.json performance-trajectory artifact.
 package livetm

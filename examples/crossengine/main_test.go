@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun executes the whole example: the shared workload body must
+// produce an opaque history on the simulated substrate and complete
+// on every engine of both substrates.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module livetm
+
+go 1.24

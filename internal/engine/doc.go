@@ -1,0 +1,45 @@
+// Package engine unifies the repository's two transactional-memory
+// substrates behind one API, so every algorithm and every workload
+// can be driven through the same interface.
+//
+// # The two substrates
+//
+// The simulated substrate (internal/stm/... under internal/sim) runs
+// each process as a goroutine of a deterministic cooperative
+// scheduler: exactly one process advances at a time, preemption and
+// crashes happen at explicit yield points, and runs are bit-for-bit
+// reproducible. It is the vehicle for the paper's formal experiments
+// — liveness classification, adversary strategies, history recording,
+// opacity checking — because the scheduler can adversarially place
+// every context switch and the recorded histories feed the checkers.
+// What it cannot measure is wall-clock scalability: only one process
+// ever runs.
+//
+// The native substrate (internal/native) runs transactions from real
+// goroutines on real cores over sync/atomic, reproducing the paper's
+// footnote-1 motivation — resilient TMs matter because of parallel
+// hardware. It measures real throughput and real contention, but
+// schedules are up to the Go runtime and the hardware: runs are not
+// reproducible and histories are not recorded.
+//
+// Use the simulated substrate to ask "is it correct / live under this
+// exact adversarial schedule", and the native substrate to ask "how
+// fast is it on this machine". The workload matrix
+// (internal/workload) declares each scenario once and runs it on
+// every (algorithm, substrate) pair through this package.
+//
+// # The API
+//
+// An Engine wraps one algorithm on one substrate. Engine.Run spawns
+// cfg.Procs processes that each execute a TxBody as repeated
+// transactions until the budget is exhausted — scheduler steps on the
+// simulated substrate, transaction rounds on the native one — and
+// returns aggregate commit/abort statistics, plus the recorded
+// history when the substrate supports it. Capabilities reports what
+// the substrate can do so callers can select engines by feature
+// rather than by name.
+//
+// Engines returns the full cross-product registry: the nine simulated
+// TMs of core.Registry and the five native algorithms of
+// native.Algorithms, all behind this one interface.
+package engine

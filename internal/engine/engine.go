@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"livetm/internal/model"
+)
+
+// Substrate identifies which execution substrate an engine runs on.
+type Substrate string
+
+// The two substrates.
+const (
+	// Simulated engines run under the deterministic cooperative
+	// scheduler of internal/sim.
+	Simulated Substrate = "sim"
+	// Native engines run real goroutines on real cores.
+	Native Substrate = "native"
+)
+
+// ErrAborted is returned by transaction operations when the current
+// attempt must be retried. The runner handles it internally; bodies
+// only see it if they inspect operation errors, and must return it
+// (or the operation's error) unchanged.
+var ErrAborted = errors.New("engine: transaction aborted")
+
+// ErrNoCommit is returned by a body to finish a round without
+// attempting to commit — the parasitic behaviour of the paper's §3.1:
+// the process keeps issuing operations but never tries to complete a
+// transaction. On the simulated substrate the implicit transaction
+// simply continues; on the native substrate the attempt is abandoned.
+var ErrNoCommit = errors.New("engine: body declined to commit")
+
+// Tx is the per-attempt transaction handle, identical across
+// substrates: int64 values over a fixed variable array.
+type Tx interface {
+	// Read returns the value of variable i, or ErrAborted.
+	Read(i int) (int64, error)
+	// Write buffers v into variable i, or returns ErrAborted.
+	Write(i int, v int64) error
+}
+
+// TxBody is one transaction of a workload. proc is the zero-based
+// process index, round counts the process's completed transactions.
+// The body must be idempotent across retries: it re-reads everything
+// through tx and must stop (return the error) when an operation
+// fails.
+type TxBody func(proc, round int, tx Tx) error
+
+// RunConfig sizes one engine run.
+type RunConfig struct {
+	// Procs is the number of concurrent processes (>= 1).
+	Procs int
+	// Vars is the number of t-variables (>= 1).
+	Vars int
+	// Seed makes simulated runs reproducible (ignored by native
+	// engines, whose interleavings come from the hardware).
+	Seed uint64
+	// OpsPerProc stops each process after that many completed rounds
+	// (committed or declined transactions). Required on the native
+	// substrate; 0 on the simulated substrate means "until the step
+	// budget runs out".
+	OpsPerProc int
+	// SimSteps is the cooperative-scheduler step budget (simulated
+	// substrate only). It bounds runs even when processes block
+	// forever, e.g. behind a wedged lock holder.
+	SimSteps int
+	// Record captures the run's history in the paper's event
+	// vocabulary (simulated substrate only; see
+	// Capabilities.HistoryRecording).
+	Record bool
+}
+
+func (cfg RunConfig) validate(sub Substrate) error {
+	if cfg.Procs <= 0 {
+		return fmt.Errorf("engine: need a positive process count, got %d", cfg.Procs)
+	}
+	if cfg.Vars <= 0 {
+		return fmt.Errorf("engine: need a positive variable count, got %d", cfg.Vars)
+	}
+	switch sub {
+	case Simulated:
+		if cfg.SimSteps <= 0 {
+			return fmt.Errorf("engine: simulated runs need a positive SimSteps budget")
+		}
+	case Native:
+		if cfg.OpsPerProc <= 0 {
+			return fmt.Errorf("engine: native runs need a positive OpsPerProc budget")
+		}
+		if cfg.Record {
+			return fmt.Errorf("engine: the native substrate cannot record histories")
+		}
+	}
+	return nil
+}
+
+// Stats aggregates one run.
+type Stats struct {
+	// Commits and Aborts count committed transactions and aborted
+	// attempts across all processes.
+	Commits uint64
+	Aborts  uint64
+	// NoCommits counts rounds a body finished with ErrNoCommit.
+	NoCommits uint64
+	// PerProcCommits holds each process's commit count.
+	PerProcCommits []uint64
+	// Steps is the number of scheduler steps consumed (simulated
+	// substrate only).
+	Steps int
+	// History is the recorded history when RunConfig.Record was set
+	// on a recording-capable engine, else nil.
+	History model.History
+}
+
+// AbortRate is Aborts / (Commits + Aborts), or 0 with no attempts.
+func (s Stats) AbortRate() float64 {
+	if s.Commits+s.Aborts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Commits+s.Aborts)
+}
+
+// Capabilities describes what an engine's substrate supports, so
+// callers select engines by feature rather than by name.
+type Capabilities struct {
+	// Substrate the engine runs on.
+	Substrate Substrate
+	// RealConcurrency: transactions run truly in parallel, so wall-
+	// clock throughput is meaningful.
+	RealConcurrency bool
+	// DeterministicReplay: the same RunConfig reproduces the same run
+	// bit for bit.
+	DeterministicReplay bool
+	// HistoryRecording: Run can return the history in the paper's
+	// event vocabulary for the safety checkers.
+	HistoryRecording bool
+	// Nonblocking: the algorithm is expected to keep correct
+	// processes progressing past crashed or stalled peers (the
+	// paper's resilience motivation).
+	Nonblocking bool
+}
+
+// Engine is one transactional-memory algorithm on one substrate.
+type Engine interface {
+	// Name is the unique report name, e.g. "sim-tl2" or "native-tl2".
+	Name() string
+	// Algorithm is the substrate-independent algorithm name, e.g.
+	// "tl2", shared by counterpart engines on the other substrate.
+	Algorithm() string
+	// Capabilities reports what the substrate supports.
+	Capabilities() Capabilities
+	// Run executes body as repeated transactions on cfg.Procs
+	// processes and returns the aggregate statistics. Each call uses
+	// a fresh TM instance; engines may be reused and are safe for
+	// sequential reuse but not for concurrent Run calls.
+	Run(cfg RunConfig, body TxBody) (Stats, error)
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"livetm/internal/native"
+)
+
+// NativeEngine adapts a native (real-concurrency) TM to the Engine
+// interface: processes are goroutines, the budget is transaction
+// rounds, and throughput is wall-clock real.
+type NativeEngine struct {
+	info native.Info
+}
+
+var _ Engine = (*NativeEngine)(nil)
+
+// NewNative wraps a native algorithm.
+func NewNative(info native.Info) *NativeEngine {
+	return &NativeEngine{info: info}
+}
+
+// Name implements Engine. Native algorithm names already carry the
+// substrate prefix ("native-tl2").
+func (e *NativeEngine) Name() string { return e.info.Name }
+
+// Algorithm implements Engine.
+func (e *NativeEngine) Algorithm() string {
+	const prefix = "native-"
+	if len(e.info.Name) > len(prefix) && e.info.Name[:len(prefix)] == prefix {
+		return e.info.Name[len(prefix):]
+	}
+	return e.info.Name
+}
+
+// Capabilities implements Engine.
+func (e *NativeEngine) Capabilities() Capabilities {
+	return Capabilities{
+		Substrate:           Native,
+		RealConcurrency:     true,
+		DeterministicReplay: false,
+		HistoryRecording:    false,
+		Nonblocking:         e.info.Nonblocking,
+	}
+}
+
+// nativeTx translates the native handle's sentinel error into the
+// engine's, so bodies observe one abort vocabulary on either
+// substrate.
+type nativeTx struct {
+	tx native.Txn
+}
+
+func (t nativeTx) Read(i int) (int64, error) {
+	v, err := t.tx.Read(i)
+	if errors.Is(err, native.ErrAborted) {
+		return 0, ErrAborted
+	}
+	return v, err
+}
+
+func (t nativeTx) Write(i int, v int64) error {
+	if err := t.tx.Write(i, v); errors.Is(err, native.ErrAborted) {
+		return ErrAborted
+	} else {
+		return err
+	}
+}
+
+// Run implements Engine.
+func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
+	if err := cfg.validate(Native); err != nil {
+		return Stats{}, err
+	}
+	tm, err := e.info.New(cfg.Vars)
+	if err != nil {
+		return Stats{}, err
+	}
+	commits := make([]uint64, cfg.Procs)
+	noCommits := make([]uint64, cfg.Procs)
+	errs := make([]error, cfg.Procs)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Procs; p++ {
+		proc := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < cfg.OpsPerProc; round++ {
+				err := tm.Atomically(func(tx native.Txn) error {
+					if err := body(proc, round, nativeTx{tx: tx}); errors.Is(err, ErrAborted) {
+						// Hand the abort back to the native retry loop.
+						return native.ErrAborted
+					} else {
+						return err
+					}
+				})
+				switch {
+				case err == nil:
+					commits[proc]++
+				case errors.Is(err, ErrNoCommit):
+					noCommits[proc]++
+				default:
+					errs[proc] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := Stats{PerProcCommits: commits, Aborts: tm.Stats().Aborts}
+	for p := 0; p < cfg.Procs; p++ {
+		st.Commits += commits[p]
+		st.NoCommits += noCommits[p]
+	}
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"livetm/internal/core"
+	"livetm/internal/native"
+)
+
+// Engines returns every registered (algorithm, substrate) pair behind
+// the unified interface: the simulated TMs of core.Registry followed
+// by the native algorithms of native.Algorithms. With ablations set,
+// the simulated ablation variants are included.
+func Engines(ablations bool) []Engine {
+	var out []Engine
+	for _, nf := range core.Registry(ablations) {
+		out = append(out, NewSim(nf.Name, nf.Factory, nf.Expected.SoloUnderCrash))
+	}
+	for _, info := range native.Algorithms() {
+		out = append(out, NewNative(info))
+	}
+	return out
+}
+
+// Lookup returns the engine with the given report name (e.g.
+// "sim-tl2", "native-tl2"), or false.
+func Lookup(name string) (Engine, bool) {
+	for _, e := range Engines(true) {
+		if e.Name() == name {
+			return e, true
+		}
+	}
+	return nil, false
+}

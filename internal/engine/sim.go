@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+)
+
+// Sim adapts a simulated TM (an stm.Factory driven by the
+// cooperative scheduler) to the Engine interface.
+type Sim struct {
+	algorithm   string
+	factory     stm.Factory
+	nonblocking bool
+}
+
+var _ Engine = (*Sim)(nil)
+
+// NewSim wraps a simulated TM factory. nonblocking mirrors the
+// paper's resilience claim for the algorithm (core.Registry's
+// SoloUnderCrash expectation).
+func NewSim(algorithm string, factory stm.Factory, nonblocking bool) *Sim {
+	return &Sim{algorithm: algorithm, factory: factory, nonblocking: nonblocking}
+}
+
+// Name implements Engine.
+func (e *Sim) Name() string { return "sim-" + e.algorithm }
+
+// Algorithm implements Engine.
+func (e *Sim) Algorithm() string { return e.algorithm }
+
+// Capabilities implements Engine.
+func (e *Sim) Capabilities() Capabilities {
+	return Capabilities{
+		Substrate:           Simulated,
+		RealConcurrency:     false,
+		DeterministicReplay: true,
+		HistoryRecording:    true,
+		Nonblocking:         e.nonblocking,
+	}
+}
+
+// simTx adapts the request/response operational interface to the
+// engine's error-based one. After any abort the handle is dead.
+type simTx struct {
+	tm      stm.TM
+	env     *sim.Env
+	vars    int
+	aborted bool
+}
+
+func (tx *simTx) Read(i int) (int64, error) {
+	if tx.aborted {
+		return 0, ErrAborted
+	}
+	if i < 0 || i >= tx.vars {
+		return 0, fmt.Errorf("engine: variable %d out of range", i)
+	}
+	v, st := tx.tm.Read(tx.env, model.TVar(i))
+	if st != stm.OK {
+		tx.aborted = true
+		return 0, ErrAborted
+	}
+	return int64(v), nil
+}
+
+func (tx *simTx) Write(i int, v int64) error {
+	if tx.aborted {
+		return ErrAborted
+	}
+	if i < 0 || i >= tx.vars {
+		return fmt.Errorf("engine: variable %d out of range", i)
+	}
+	if tx.tm.Write(tx.env, model.TVar(i), model.Value(v)) != stm.OK {
+		tx.aborted = true
+		return ErrAborted
+	}
+	return nil
+}
+
+// Run implements Engine.
+func (e *Sim) Run(cfg RunConfig, body TxBody) (Stats, error) {
+	if err := cfg.validate(Simulated); err != nil {
+		return Stats{}, err
+	}
+	tm := e.factory(cfg.Procs, cfg.Vars)
+	var rec *stm.Recorder
+	if cfg.Record {
+		rec = stm.NewRecorder(tm)
+		tm = rec
+	}
+	s := sim.New(sim.NewSeeded(cfg.Seed))
+	defer s.Close()
+
+	commits := make([]uint64, cfg.Procs)
+	var aborts, noCommits uint64
+	var failed bool
+	errs := make([]error, cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		proc := p
+		_ = s.Spawn(model.Proc(proc+1), func(env *sim.Env) {
+			for round := 0; cfg.OpsPerProc == 0 || round < cfg.OpsPerProc; {
+				tx := &simTx{tm: tm, env: env, vars: cfg.Vars}
+				err := body(proc, round, tx)
+				switch {
+				case errors.Is(err, ErrNoCommit):
+					noCommits++
+					round++
+					// The implicit transaction stays live (parasitic);
+					// yield so a body that issued no operation cannot
+					// monopolize the scheduler.
+					env.Yield()
+				case err == nil && !tx.aborted:
+					if tm.TryCommit(env) == stm.OK {
+						commits[proc]++
+						round++
+					} else {
+						aborts++
+					}
+				case err == nil || errors.Is(err, ErrAborted):
+					aborts++
+				default:
+					// A terminal body error: stop the run. The errored
+					// process's implicit transaction stays live — the
+					// request/response model has no abort request to
+					// issue for it, so the process behaves like a crash
+					// (it holds whatever it holds), exactly as the
+					// paper's model prescribes.
+					errs[proc] = err
+					failed = true
+					return
+				}
+			}
+		})
+	}
+	// Step manually rather than s.Run so a body error ends the run at
+	// the next step instead of burning the whole budget.
+	steps := 0
+	for steps < cfg.SimSteps && !failed && s.Step() {
+		steps++
+	}
+
+	st := Stats{PerProcCommits: commits, Aborts: aborts, NoCommits: noCommits, Steps: steps}
+	for _, c := range commits {
+		st.Commits += c
+	}
+	if rec != nil {
+		st.History = rec.History()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

@@ -1,20 +1,35 @@
-// Package native provides a real-concurrency counterpart to the
-// simulated STMs: a TL2-style STM built on sync/atomic and a
-// global-mutex baseline, both behind one transactional API. It exists
+// Package native provides the real-concurrency counterparts to the
+// simulated STMs: five transactional-memory algorithms built on
+// sync/atomic and driven by real goroutines on real cores. It exists
 // for the paper's footnote-1 argument — resilient (nonblocking) TMs
 // are motivated by scalability on real parallel hardware — which the
-// cooperative simulator cannot measure. The wall-clock benchmarks in
-// bench_test.go run both across goroutines on real cores.
+// cooperative simulator cannot measure.
 //
-// The simulated STMs (internal/stm/...) remain the vehicles for the
-// liveness experiments; this package is deliberately minimal: a fixed
-// t-variable set, int64 values, and a retry-loop API.
+// The algorithms mirror the simulated registry (internal/stm/...):
+//
+//   - TL2: global-clock, invisible reads, commit-time locking.
+//   - NOrec: single global sequence lock, value-based validation.
+//   - TinySTM: encounter-time locking with timestamp extension.
+//   - DSTM: obstruction-free per-variable ownership records with an
+//     aggressive (abort-other) contention manager.
+//   - Mutex: the coarse-grained blocking baseline.
+//
+// The lock-based algorithms share one infrastructure: a striped
+// versioned-lock table (power-of-two stripes, see stripes.go), a
+// sharded global version clock that removes the commit-counter hot
+// spot of a single fetch-add word (see clock.go), and a common
+// retry/backoff loop with commit/abort statistics (below).
+//
+// The simulated STMs remain the vehicles for the liveness
+// experiments; this package is deliberately minimal — a fixed
+// t-variable set, int64 values, and a retry-loop API — and is driven
+// through the unified engine API (internal/engine) alongside them.
 package native
 
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -30,10 +45,13 @@ type TM interface {
 	Name() string
 	// Atomically runs fn as a transaction, retrying on aborts until
 	// it commits. fn must be idempotent across retries and must stop
-	// (return) when an operation reports an error.
+	// (return) when an operation reports an error. A non-abort error
+	// from fn is returned without committing.
 	Atomically(fn func(Txn) error) error
 	// Vars returns the number of t-variables.
 	Vars() int
+	// Stats returns the cumulative commit/abort counters.
+	Stats() Stats
 }
 
 // Txn is the per-attempt handle.
@@ -44,148 +62,145 @@ type Txn interface {
 	Write(i int, v int64) error
 }
 
-// --- TL2 on sync/atomic ---
-
-// Versioned lock word layout: version<<1 | lockbit.
-type vlock struct {
-	word  atomic.Uint64
-	value atomic.Int64
-	// pad the record to a cache line to avoid false sharing between
-	// adjacent t-variables in the scalability benchmarks.
-	_ [5]uint64
+// Stats is a snapshot of a TM's cumulative counters.
+type Stats struct {
+	// Commits counts committed transactions.
+	Commits uint64
+	// Aborts counts aborted attempts (each retry is one abort).
+	Aborts uint64
 }
 
-// TL2 is a TL2-style STM: global version clock, invisible reads
-// validated against a read version, commit-time locking in variable
-// order.
-type TL2 struct {
-	clock atomic.Uint64
-	vars  []vlock
-}
-
-var _ TM = (*TL2)(nil)
-
-// NewTL2 returns an instance with n t-variables initialized to 0.
-func NewTL2(n int) (*TL2, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("native: need a positive variable count, got %d", n)
+// AbortRate is Aborts / (Commits + Aborts), or 0 with no attempts.
+func (s Stats) AbortRate() float64 {
+	if s.Commits+s.Aborts == 0 {
+		return 0
 	}
-	return &TL2{vars: make([]vlock, n)}, nil
+	return float64(s.Aborts) / float64(s.Commits+s.Aborts)
 }
 
-// Name implements TM.
-func (t *TL2) Name() string { return "native-tl2" }
+// --- shared attempt loop ---
 
-// Vars implements TM.
-func (t *TL2) Vars() int { return len(t.vars) }
-
-type tl2Txn struct {
-	tm     *TL2
-	rv     uint64
-	reads  []int
-	writes map[int]int64
-	order  []int
-	dead   bool
+// attempt is the single-attempt contract each algorithm implements
+// behind the shared retry loop.
+type attempt interface {
+	Txn
+	// commit tries to make the attempt's effects visible; false means
+	// the attempt lost a conflict and the transaction retries.
+	commit() bool
+	// abandon releases any per-attempt resources (encounter-time
+	// locks, ownership records) after an abort, a body error, or a
+	// failed commit. It must be idempotent: the retry loop calls it
+	// on every non-committed attempt, including after commit() has
+	// cleaned up its own failure.
+	abandon()
 }
 
-// Atomically implements TM.
-func (t *TL2) Atomically(fn func(Txn) error) error {
-	for {
-		tx := &tl2Txn{tm: t, rv: t.clock.Load(), writes: make(map[int]int64)}
+// counters is embedded by every TM. The two words live on separate
+// cache lines so commit and abort traffic do not false-share.
+type counters struct {
+	commits atomic.Uint64
+	_       [7]uint64
+	aborts  atomic.Uint64
+	_       [7]uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{Commits: c.commits.Load(), Aborts: c.aborts.Load()}
+}
+
+// runAtomically is the retry/backoff loop shared by every algorithm:
+// begin an attempt, run the body, commit or back off and retry.
+func runAtomically(c *counters, begin func() attempt, fn func(Txn) error) error {
+	for round := 0; ; round++ {
+		tx := begin()
 		err := fn(tx)
-		if tx.dead || errors.Is(err, ErrAborted) {
-			continue
-		}
-		if err != nil {
+		if err == nil {
+			if tx.commit() {
+				c.commits.Add(1)
+				return nil
+			}
+			// A failed commit already cleans up after itself, but
+			// abandon is idempotent and closing the loop here keeps
+			// resource release off each algorithm's commit path as an
+			// undocumented obligation.
+			tx.abandon()
+		} else if !errors.Is(err, ErrAborted) {
+			tx.abandon()
 			return err
+		} else {
+			tx.abandon()
 		}
-		if tx.commit() {
-			return nil
-		}
+		c.aborts.Add(1)
+		backoff(round)
 	}
 }
 
-func (tx *tl2Txn) Read(i int) (int64, error) {
-	if tx.dead {
-		return 0, ErrAborted
+// backoff spins with exponentially growing bounds and yields the
+// processor once the bound saturates, so retry storms under heavy
+// contention do not starve the committer holding the locks.
+func backoff(round int) {
+	if round <= 0 {
+		return
 	}
-	if v, ok := tx.writes[i]; ok {
-		return v, nil
+	if round > 10 {
+		runtime.Gosched()
+		round = 10
 	}
-	if i < 0 || i >= len(tx.tm.vars) {
-		return 0, fmt.Errorf("native: variable %d out of range", i)
+	for i := 0; i < 1<<round; i++ {
+		spinHint()
 	}
-	r := &tx.tm.vars[i]
-	w1 := r.word.Load()
-	if w1&1 == 1 || w1>>1 > tx.rv {
-		tx.dead = true
-		return 0, ErrAborted
-	}
-	v := r.value.Load()
-	if r.word.Load() != w1 {
-		tx.dead = true
-		return 0, ErrAborted
-	}
-	tx.reads = append(tx.reads, i)
-	return v, nil
 }
 
-func (tx *tl2Txn) Write(i int, v int64) error {
-	if tx.dead {
-		return ErrAborted
+// spinHint is a compiler-opaque no-op so the backoff loop is not
+// optimized away.
+//
+//go:noinline
+func spinHint() {}
+
+func checkVars(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("native: need a positive variable count, got %d", n)
 	}
-	if i < 0 || i >= len(tx.tm.vars) {
-		return fmt.Errorf("native: variable %d out of range", i)
-	}
-	if _, ok := tx.writes[i]; !ok {
-		tx.order = append(tx.order, i)
-	}
-	tx.writes[i] = v
 	return nil
 }
 
-func (tx *tl2Txn) commit() bool {
-	if len(tx.writes) == 0 {
-		return true // reads already validated against rv
+func rangeErr(i int) error {
+	return fmt.Errorf("native: variable %d out of range", i)
+}
+
+// --- registry ---
+
+// Info describes a registered native algorithm.
+type Info struct {
+	// Name is the report name ("native-" prefix).
+	Name string
+	// Nonblocking reports whether the algorithm is obstruction-free
+	// (no transaction ever waits on a stalled peer).
+	Nonblocking bool
+	// New creates an instance with n t-variables initialized to 0.
+	New func(n int) (TM, error)
+}
+
+// Algorithms returns the registered native TMs in report order.
+func Algorithms() []Info {
+	return []Info{
+		{Name: "native-mutex", Nonblocking: false, New: func(n int) (TM, error) { return NewMutex(n) }},
+		{Name: "native-tl2", Nonblocking: false, New: func(n int) (TM, error) { return NewTL2(n) }},
+		{Name: "native-norec", Nonblocking: false, New: func(n int) (TM, error) { return NewNOrec(n) }},
+		{Name: "native-tinystm", Nonblocking: false, New: func(n int) (TM, error) { return NewTinySTM(n) }},
+		{Name: "native-dstm", Nonblocking: true, New: func(n int) (TM, error) { return NewDSTM(n) }},
 	}
-	sortInts(tx.order)
-	acquired := 0
-	release := func() {
-		for _, i := range tx.order[:acquired] {
-			r := &tx.tm.vars[i]
-			r.word.Store(r.word.Load() &^ 1)
+}
+
+// New creates the named algorithm with n t-variables, or errors on an
+// unknown name.
+func New(name string, n int) (TM, error) {
+	for _, info := range Algorithms() {
+		if info.Name == name {
+			return info.New(n)
 		}
 	}
-	for _, i := range tx.order {
-		r := &tx.tm.vars[i]
-		w := r.word.Load()
-		if w&1 == 1 || w>>1 > tx.rv {
-			release()
-			return false
-		}
-		if !r.word.CompareAndSwap(w, w|1) {
-			release()
-			return false
-		}
-		acquired++
-	}
-	for _, i := range tx.reads {
-		if _, mine := tx.writes[i]; mine {
-			continue
-		}
-		w := tx.tm.vars[i].word.Load()
-		if w&1 == 1 || w>>1 > tx.rv {
-			release()
-			return false
-		}
-	}
-	wv := tx.tm.clock.Add(1)
-	for _, i := range tx.order {
-		r := &tx.tm.vars[i]
-		r.value.Store(tx.writes[i])
-		r.word.Store(wv << 1) // new version, unlocked
-	}
-	return true
+	return nil, fmt.Errorf("native: unknown algorithm %q", name)
 }
 
 func sortInts(a []int) {
@@ -194,53 +209,4 @@ func sortInts(a []int) {
 			a[j], a[j-1] = a[j-1], a[j]
 		}
 	}
-}
-
-// --- Global mutex baseline ---
-
-// Mutex is the coarse-grained baseline: every transaction runs under
-// one sync.Mutex. It never aborts.
-type Mutex struct {
-	mu   sync.Mutex
-	vals []int64
-}
-
-var _ TM = (*Mutex)(nil)
-
-// NewMutex returns an instance with n t-variables initialized to 0.
-func NewMutex(n int) (*Mutex, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("native: need a positive variable count, got %d", n)
-	}
-	return &Mutex{vals: make([]int64, n)}, nil
-}
-
-// Name implements TM.
-func (m *Mutex) Name() string { return "native-mutex" }
-
-// Vars implements TM.
-func (m *Mutex) Vars() int { return len(m.vals) }
-
-type mutexTxn struct{ m *Mutex }
-
-// Atomically implements TM.
-func (m *Mutex) Atomically(fn func(Txn) error) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return fn(mutexTxn{m: m})
-}
-
-func (tx mutexTxn) Read(i int) (int64, error) {
-	if i < 0 || i >= len(tx.m.vals) {
-		return 0, fmt.Errorf("native: variable %d out of range", i)
-	}
-	return tx.m.vals[i], nil
-}
-
-func (tx mutexTxn) Write(i int, v int64) error {
-	if i < 0 || i >= len(tx.m.vals) {
-		return fmt.Errorf("native: variable %d out of range", i)
-	}
-	tx.m.vals[i] = v
-	return nil
 }

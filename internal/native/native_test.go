@@ -7,25 +7,85 @@ import (
 	"testing"
 )
 
+// both historically returned TL2 and Mutex; it now returns every
+// registered algorithm so the whole suite runs across the registry.
 func both(t *testing.T, n int) []TM {
 	t.Helper()
-	tl2, err := NewTL2(n)
-	if err != nil {
-		t.Fatal(err)
+	var tms []TM
+	for _, info := range Algorithms() {
+		tm, err := info.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tms = append(tms, tm)
 	}
-	mu, err := NewMutex(n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return []TM{tl2, mu}
+	return tms
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := NewTL2(0); err == nil {
-		t.Error("NewTL2(0) must fail")
+	for _, info := range Algorithms() {
+		if _, err := info.New(0); err == nil {
+			t.Errorf("%s: New(0) must fail", info.Name)
+		}
+		if _, err := info.New(-1); err == nil {
+			t.Errorf("%s: New(-1) must fail", info.Name)
+		}
 	}
-	if _, err := NewMutex(-1); err == nil {
-		t.Error("NewMutex(-1) must fail")
+	if _, err := New("native-tl2", 4); err != nil {
+		t.Errorf("New by name: %v", err)
+	}
+	if _, err := New("no-such-algorithm", 4); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+}
+
+// TestRegistry pins the registry shape: at least 5 algorithms with
+// unique names, and at least one nonblocking member.
+func TestRegistry(t *testing.T) {
+	infos := Algorithms()
+	if len(infos) < 5 {
+		t.Fatalf("registry has %d algorithms, want >= 5", len(infos))
+	}
+	seen := map[string]bool{}
+	nonblocking := 0
+	for _, info := range infos {
+		if seen[info.Name] {
+			t.Errorf("duplicate name %q", info.Name)
+		}
+		seen[info.Name] = true
+		if info.Nonblocking {
+			nonblocking++
+		}
+	}
+	if nonblocking == 0 {
+		t.Error("registry must include a nonblocking algorithm")
+	}
+}
+
+// TestStatsCounters checks that commits and aborts are counted.
+func TestStatsCounters(t *testing.T) {
+	for _, tm := range both(t, 1) {
+		for i := 0; i < 5; i++ {
+			if err := tm.Atomically(func(tx Txn) error {
+				v, err := tx.Read(0)
+				if err != nil {
+					return err
+				}
+				return tx.Write(0, v+1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := tm.Stats()
+		if st.Commits != 5 {
+			t.Errorf("%s: commits = %d, want 5", tm.Name(), st.Commits)
+		}
+		if got := st.AbortRate(); got < 0 || got >= 1 {
+			t.Errorf("%s: abort rate = %v", tm.Name(), got)
+		}
+	}
+	if (Stats{}).AbortRate() != 0 {
+		t.Error("empty stats must have abort rate 0")
 	}
 }
 
@@ -205,6 +265,39 @@ func TestConcurrentBankConservation(t *testing.T) {
 			close(stop)
 			wg.Wait()
 		})
+	}
+}
+
+// TestAbandonedBodyWritesInvisible: a body that writes and then
+// returns a non-abort error must leave no effects behind, on every
+// algorithm (the buffered ones discard, DSTM settles as aborted, the
+// mutex baseline buffers until commit).
+func TestAbandonedBodyWritesInvisible(t *testing.T) {
+	sentinel := errors.New("decline")
+	for _, tm := range both(t, 2) {
+		err := tm.Atomically(func(tx Txn) error {
+			if err := tx.Write(0, 7); err != nil {
+				return err
+			}
+			return sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("%s: err = %v", tm.Name(), err)
+		}
+		var got int64
+		if err := tm.Atomically(func(tx Txn) error {
+			var err error
+			got, err = tx.Read(0)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Errorf("%s: abandoned write leaked, read %d", tm.Name(), got)
+		}
+		if st := tm.Stats(); st.Commits != 1 {
+			t.Errorf("%s: commits = %d, want only the reader's", tm.Name(), st.Commits)
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package native
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// NOrec is a NOrec-style STM: no per-variable metadata at all, one
+// global sequence lock (even = stable, odd = a committer is writing
+// back), and value-based validation — a reader revalidates its read
+// log by value whenever the sequence number moves. Single-writer
+// commit makes it the simplest of the scalable designs and the best
+// fit for read-dominated workloads.
+type NOrec struct {
+	counters
+	seq  atomic.Uint64
+	_    [7]uint64
+	vals []vcell
+}
+
+var _ TM = (*NOrec)(nil)
+
+// NewNOrec returns an instance with n t-variables initialized to 0.
+func NewNOrec(n int) (*NOrec, error) {
+	if err := checkVars(n); err != nil {
+		return nil, err
+	}
+	return &NOrec{vals: make([]vcell, n)}, nil
+}
+
+// Name implements TM.
+func (t *NOrec) Name() string { return "native-norec" }
+
+// Vars implements TM.
+func (t *NOrec) Vars() int { return len(t.vals) }
+
+// Stats implements TM.
+func (t *NOrec) Stats() Stats { return t.snapshot() }
+
+// Atomically implements TM.
+func (t *NOrec) Atomically(fn func(Txn) error) error {
+	return runAtomically(&t.counters, func() attempt {
+		return &norecTxn{tm: t, snapshot: t.waitStable()}
+	}, fn)
+}
+
+// waitStable spins until the sequence lock is even and returns it.
+func (t *NOrec) waitStable() uint64 {
+	for {
+		s := t.seq.Load()
+		if s&1 == 0 {
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
+type norecRead struct {
+	i int
+	v int64
+}
+
+type norecTxn struct {
+	tm       *NOrec
+	snapshot uint64
+	reads    []norecRead
+	writes   map[int]int64
+	dead     bool
+}
+
+// validate re-reads the log by value against a stable snapshot; it
+// returns the snapshot under which the log was last consistent.
+func (tx *norecTxn) validate() (uint64, bool) {
+	for {
+		s := tx.tm.waitStable()
+		for _, r := range tx.reads {
+			if tx.tm.vals[r.i].v.Load() != r.v {
+				return 0, false
+			}
+		}
+		if tx.tm.seq.Load() == s {
+			return s, true
+		}
+	}
+}
+
+func (tx *norecTxn) Read(i int) (int64, error) {
+	if tx.dead {
+		return 0, ErrAborted
+	}
+	if v, ok := tx.writes[i]; ok {
+		return v, nil
+	}
+	if i < 0 || i >= len(tx.tm.vals) {
+		return 0, rangeErr(i)
+	}
+	v := tx.tm.vals[i].v.Load()
+	for tx.snapshot != tx.tm.seq.Load() {
+		s, ok := tx.validate()
+		if !ok {
+			tx.dead = true
+			return 0, ErrAborted
+		}
+		tx.snapshot = s
+		v = tx.tm.vals[i].v.Load()
+	}
+	tx.reads = append(tx.reads, norecRead{i: i, v: v})
+	return v, nil
+}
+
+func (tx *norecTxn) Write(i int, v int64) error {
+	if tx.dead {
+		return ErrAborted
+	}
+	if i < 0 || i >= len(tx.tm.vals) {
+		return rangeErr(i)
+	}
+	if tx.writes == nil {
+		tx.writes = make(map[int]int64)
+	}
+	tx.writes[i] = v
+	return nil
+}
+
+func (tx *norecTxn) abandon() {}
+
+func (tx *norecTxn) commit() bool {
+	if tx.dead {
+		return false
+	}
+	if len(tx.writes) == 0 {
+		return true // read log validated on every snapshot move
+	}
+	for !tx.tm.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		s, ok := tx.validate()
+		if !ok {
+			return false
+		}
+		tx.snapshot = s
+	}
+	for i, v := range tx.writes {
+		tx.tm.vals[i].v.Store(v)
+	}
+	tx.tm.seq.Store(tx.snapshot + 2)
+	return true
+}

@@ -1,0 +1,69 @@
+package native
+
+import "sync/atomic"
+
+// The lock-based algorithms (TL2, TinySTM) share this metadata
+// layout: values live in a flat padded array, and lock/version words
+// live in a striped table — variable i maps to stripe i & mask, so
+// the metadata footprint is bounded regardless of the variable count
+// and two variables in one stripe conflict conservatively (a false
+// conflict, never a missed one).
+
+// maxStripes bounds the lock table; beyond it, variables share.
+const maxStripes = 1 << 12
+
+// vword is a versioned lock word: version<<1 | lockbit, padded to a
+// cache line so adjacent stripes do not false-share.
+type vword struct {
+	word atomic.Uint64
+	_    [7]uint64
+}
+
+func (w *vword) load() uint64       { return w.word.Load() }
+func locked(word uint64) bool       { return word&1 == 1 }
+func version(word uint64) uint64    { return word >> 1 }
+func lockedWord(word uint64) uint64 { return word | 1 }
+func versionWord(ver uint64) uint64 { return ver << 1 }
+
+// tryLock CASes the word from the observed unlocked value to its
+// locked form.
+func (w *vword) tryLock(observed uint64) bool {
+	return w.word.CompareAndSwap(observed, lockedWord(observed))
+}
+
+// unlock stores a new unlocked word (either the pre-lock word on
+// abort or a fresh version on commit).
+func (w *vword) unlock(word uint64) { w.word.Store(word) }
+
+// vcell is a padded value cell. Values are written only while the
+// owning stripe is locked (or under the Mutex baseline's lock), and
+// read through the atomic so unsynchronized readers are well-defined.
+type vcell struct {
+	v atomic.Int64
+	_ [7]uint64
+}
+
+// stripeTable is the shared striped versioned-lock array plus the
+// value array it guards.
+type stripeTable struct {
+	mask  int
+	locks []vword
+	vals  []vcell
+}
+
+func newStripeTable(vars int) *stripeTable {
+	stripes := 1
+	for stripes < vars && stripes < maxStripes {
+		stripes <<= 1
+	}
+	return &stripeTable{
+		mask:  stripes - 1,
+		locks: make([]vword, stripes),
+		vals:  make([]vcell, vars),
+	}
+}
+
+// stripe maps a variable index to its lock index.
+func (t *stripeTable) stripe(i int) int { return i & t.mask }
+
+func (t *stripeTable) lock(i int) *vword { return &t.locks[t.stripe(i)] }

@@ -1,0 +1,143 @@
+package native
+
+// TL2 is a TL2-style STM: sharded global version clock, invisible
+// reads validated against a read version, commit-time locking in
+// stripe order over the shared striped lock table.
+type TL2 struct {
+	counters
+	clock *shardedClock
+	table *stripeTable
+}
+
+var _ TM = (*TL2)(nil)
+
+// NewTL2 returns an instance with n t-variables initialized to 0.
+func NewTL2(n int) (*TL2, error) {
+	if err := checkVars(n); err != nil {
+		return nil, err
+	}
+	return &TL2{clock: newShardedClock(), table: newStripeTable(n)}, nil
+}
+
+// Name implements TM.
+func (t *TL2) Name() string { return "native-tl2" }
+
+// Vars implements TM.
+func (t *TL2) Vars() int { return len(t.table.vals) }
+
+// Stats implements TM.
+func (t *TL2) Stats() Stats { return t.snapshot() }
+
+// Atomically implements TM.
+func (t *TL2) Atomically(fn func(Txn) error) error {
+	return runAtomically(&t.counters, func() attempt {
+		return &tl2Txn{tm: t, rv: t.clock.Sample(), writes: make(map[int]int64)}
+	}, fn)
+}
+
+type tl2Txn struct {
+	tm     *TL2
+	rv     uint64
+	reads  []int // stripes read
+	writes map[int]int64
+	order  []int // variable indexes in first-write order
+	dead   bool
+}
+
+func (tx *tl2Txn) Read(i int) (int64, error) {
+	if tx.dead {
+		return 0, ErrAborted
+	}
+	if v, ok := tx.writes[i]; ok {
+		return v, nil
+	}
+	tab := tx.tm.table
+	if i < 0 || i >= len(tab.vals) {
+		return 0, rangeErr(i)
+	}
+	l := tab.lock(i)
+	w1 := l.load()
+	if locked(w1) || version(w1) > tx.rv {
+		tx.dead = true
+		return 0, ErrAborted
+	}
+	v := tab.vals[i].v.Load()
+	if l.load() != w1 {
+		tx.dead = true
+		return 0, ErrAborted
+	}
+	tx.reads = append(tx.reads, tab.stripe(i))
+	return v, nil
+}
+
+func (tx *tl2Txn) Write(i int, v int64) error {
+	if tx.dead {
+		return ErrAborted
+	}
+	if i < 0 || i >= len(tx.tm.table.vals) {
+		return rangeErr(i)
+	}
+	if _, ok := tx.writes[i]; !ok {
+		tx.order = append(tx.order, i)
+	}
+	tx.writes[i] = v
+	return nil
+}
+
+func (tx *tl2Txn) abandon() {}
+
+func (tx *tl2Txn) commit() bool {
+	if tx.dead {
+		return false
+	}
+	if len(tx.writes) == 0 {
+		return true // reads already validated against rv
+	}
+	tab := tx.tm.table
+
+	// Distinct write stripes in ascending order (deadlock-free).
+	stripes := make([]int, 0, len(tx.order))
+	seen := make(map[int]uint64, len(tx.order))
+	for _, i := range tx.order {
+		s := tab.stripe(i)
+		if _, dup := seen[s]; !dup {
+			seen[s] = 0
+			stripes = append(stripes, s)
+		}
+	}
+	sortInts(stripes)
+
+	acquired := 0
+	release := func() {
+		for _, s := range stripes[:acquired] {
+			tab.locks[s].unlock(seen[s])
+		}
+	}
+	for _, s := range stripes {
+		w := tab.locks[s].load()
+		if locked(w) || version(w) > tx.rv || !tab.locks[s].tryLock(w) {
+			release()
+			return false
+		}
+		seen[s] = w // pre-lock word, restored on failure
+		acquired++
+	}
+	for _, s := range tx.reads {
+		if _, mine := seen[s]; mine {
+			continue // validated at acquisition
+		}
+		w := tab.locks[s].load()
+		if locked(w) || version(w) > tx.rv {
+			release()
+			return false
+		}
+	}
+	wv := tx.tm.clock.Tick(shardOf(tx))
+	for i, v := range tx.writes {
+		tab.vals[i].v.Store(v)
+	}
+	for _, s := range stripes {
+		tab.locks[s].unlock(versionWord(wv))
+	}
+	return true
+}

@@ -11,6 +11,14 @@
 // (placed-set, committed-state) pairs. The search is exponential in the
 // worst case — deciding opacity is NP-hard in general — so callers keep
 // the checked windows small (the experiments use ≤ ~16 transactions).
+//
+// Both checkers represent transaction sets as 64-bit masks, capping
+// any single search window at 64 transactions; exceeding the cap
+// (either directly in CheckOpacity/CheckStrictSerializability, or by
+// asking CheckOpacitySegmented for a segment budget above 64) is
+// reported as ErrTooManyTransactions, detectable with errors.Is.
+// Longer histories go through CheckOpacitySegmented, which splits at
+// quiescent cuts so each exponential search stays within the cap.
 package safety
 
 import (

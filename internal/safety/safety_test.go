@@ -1,6 +1,7 @@
 package safety
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -368,8 +369,13 @@ func TestTooManyTransactions(t *testing.T) {
 	for i := 0; i < 70; i++ {
 		b.Read(1, 0, 0).Commit(1)
 	}
-	if _, err := CheckOpacity(b.History()); err == nil {
-		t.Error("expected ErrTooManyTransactions for 70 transactions")
+	if _, err := CheckOpacity(b.History()); !errors.Is(err, ErrTooManyTransactions) {
+		t.Errorf("expected ErrTooManyTransactions for 70 transactions, got %v", err)
+	}
+	// The segmented checker reports the same sentinel when asked for
+	// a budget beyond the search cap.
+	if _, err := CheckOpacitySegmented(b.History(), 70); !errors.Is(err, ErrTooManyTransactions) {
+		t.Errorf("segmented checker: expected ErrTooManyTransactions, got %v", err)
 	}
 }
 

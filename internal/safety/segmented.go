@@ -39,8 +39,13 @@ type SegmentedResult struct {
 // by splitting it at quiescent cuts into segments of at most
 // maxTxnsPerSegment transactions each.
 func CheckOpacitySegmented(h model.History, maxTxnsPerSegment int) (SegmentedResult, error) {
-	if maxTxnsPerSegment <= 0 || maxTxnsPerSegment > 64 {
-		return SegmentedResult{}, fmt.Errorf("safety: segment budget %d out of range [1,64]", maxTxnsPerSegment)
+	if maxTxnsPerSegment <= 0 {
+		return SegmentedResult{}, fmt.Errorf("safety: segment budget %d must be positive", maxTxnsPerSegment)
+	}
+	if maxTxnsPerSegment > 64 {
+		// The same cap as the monolithic checker, reported with the
+		// same sentinel so callers handle one error either way.
+		return SegmentedResult{}, fmt.Errorf("%w: segment budget %d exceeds the 64-transaction search cap", ErrTooManyTransactions, maxTxnsPerSegment)
 	}
 	txns, err := model.Transactions(h)
 	if err != nil {

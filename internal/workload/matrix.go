@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"livetm/internal/engine"
+)
+
+// The workload matrix is declared once — process count × read/write
+// mix × contention level × disjoint/shared variable sharing — and
+// executed against every (algorithm, substrate) pair through the
+// engine API. The benchmark harness (bench_test.go) and the livetm
+// workloads subcommand both run exactly this declaration, so the
+// matrix cannot drift between the two.
+
+// Mix is the read/write composition of one transaction.
+type Mix struct {
+	Name   string
+	Reads  int
+	Writes int
+}
+
+// Mixes are the matrix's read/write compositions.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "update", Reads: 1, Writes: 1},
+		{Name: "readheavy", Reads: 8, Writes: 1},
+		{Name: "writeheavy", Reads: 1, Writes: 4},
+	}
+}
+
+// Sharing says whether processes share variables or work on disjoint
+// partitions.
+type Sharing string
+
+// Sharing levels.
+const (
+	Disjoint Sharing = "disjoint"
+	Shared   Sharing = "shared"
+)
+
+// Contention scales the variable set: few variables mean hot
+// conflicts, many mean cold.
+type Contention struct {
+	Name        string
+	VarsPerProc int
+}
+
+// Contentions are the matrix's contention levels.
+func Contentions() []Contention {
+	return []Contention{
+		{Name: "hot", VarsPerProc: 1},
+		{Name: "cold", VarsPerProc: 16},
+	}
+}
+
+// Spec is one point of the workload matrix.
+type Spec struct {
+	Name       string
+	Procs      int
+	Vars       int
+	Mix        Mix
+	Contention Contention
+	Sharing    Sharing
+}
+
+// Matrix declares the full workload matrix for the given process
+// counts: procs × mixes × contentions × sharings.
+func Matrix(procs []int) []Spec {
+	var specs []Spec
+	for _, p := range procs {
+		for _, mix := range Mixes() {
+			for _, c := range Contentions() {
+				for _, sh := range []Sharing{Disjoint, Shared} {
+					specs = append(specs, Spec{
+						Name:       fmt.Sprintf("p%d/%s/%s/%s", p, mix.Name, c.Name, sh),
+						Procs:      p,
+						Vars:       p * c.VarsPerProc,
+						Mix:        mix,
+						Contention: c,
+						Sharing:    sh,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// Body returns the spec's transaction body: Mix.Reads reads followed
+// by Mix.Writes read-modify-writes over the spec's variable range —
+// the whole range when Shared, the process's own partition when
+// Disjoint. Variable choice is a pure function of (proc, round), so
+// the body is idempotent across retries and identical on both
+// substrates.
+func (s Spec) Body() engine.TxBody {
+	perProc := s.Vars / s.Procs
+	if perProc == 0 {
+		// Vars < Procs cannot give every process a disjoint
+		// partition; degrade to one variable per process so the
+		// engine reports a clean out-of-range error for the excess
+		// processes instead of this body dividing by zero.
+		perProc = 1
+	}
+	return func(proc, round int, tx engine.Tx) error {
+		h := uint64(proc)*2654435761 + uint64(round)*97 + 1
+		pick := func() int {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			if s.Sharing == Disjoint {
+				return proc*perProc + int(h%uint64(perProc))
+			}
+			return int(h % uint64(s.Vars))
+		}
+		for r := 0; r < s.Mix.Reads; r++ {
+			if _, err := tx.Read(pick()); err != nil {
+				return err
+			}
+		}
+		for w := 0; w < s.Mix.Writes; w++ {
+			i := pick()
+			v, err := tx.Read(i)
+			if err != nil {
+				return err
+			}
+			if err := tx.Write(i, v+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Budget sizes one matrix cell per substrate. It is embedded in the
+// artifact so trajectory comparisons only pit runs with equal
+// budgets against each other.
+type Budget struct {
+	// SimSteps is the cooperative-scheduler step budget for simulated
+	// engines.
+	SimSteps int `json:"sim_steps"`
+	// NativeOps is the committed-transaction budget per process for
+	// native engines.
+	NativeOps int `json:"native_ops"`
+}
+
+// Result is one (engine, workload) cell of an executed matrix.
+type Result struct {
+	Engine    string  `json:"engine"`
+	Algorithm string  `json:"algorithm"`
+	Substrate string  `json:"substrate"`
+	Workload  string  `json:"workload"`
+	Procs     int     `json:"procs"`
+	Vars      int     `json:"vars"`
+	Commits   uint64  `json:"commits"`
+	Aborts    uint64  `json:"aborts"`
+	AbortRate float64 `json:"abort_rate"`
+	// OpsPerSec is wall-clock committed transactions per second —
+	// meaningful on the native substrate only.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// CommitsPerStep normalizes simulated throughput by scheduler
+	// steps — the substrate's deterministic time unit.
+	CommitsPerStep float64 `json:"commits_per_step,omitempty"`
+}
+
+// RunMatrix executes every spec on every engine and returns the
+// result cells in declaration order.
+func RunMatrix(engines []engine.Engine, specs []Spec, budget Budget) ([]Result, error) {
+	var out []Result
+	for _, e := range engines {
+		caps := e.Capabilities()
+		for _, spec := range specs {
+			cfg := engine.RunConfig{
+				Procs: spec.Procs,
+				Vars:  spec.Vars,
+				Seed:  uint64(len(out) + 1),
+			}
+			if caps.Substrate == engine.Simulated {
+				cfg.SimSteps = budget.SimSteps
+			} else {
+				cfg.OpsPerProc = budget.NativeOps
+			}
+			start := time.Now()
+			st, err := e.Run(cfg, spec.Body())
+			if err != nil {
+				return out, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
+			}
+			elapsed := time.Since(start).Seconds()
+			r := Result{
+				Engine:    e.Name(),
+				Algorithm: e.Algorithm(),
+				Substrate: string(caps.Substrate),
+				Workload:  spec.Name,
+				Procs:     spec.Procs,
+				Vars:      spec.Vars,
+				Commits:   st.Commits,
+				Aborts:    st.Aborts,
+				AbortRate: st.AbortRate(),
+			}
+			if caps.Substrate == engine.Simulated {
+				if st.Steps > 0 {
+					r.CommitsPerStep = float64(st.Commits) / float64(st.Steps)
+				}
+			} else if elapsed > 0 {
+				r.OpsPerSec = float64(st.Commits) / elapsed
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Artifact is the machine-readable benchmark trajectory written to
+// BENCH_native.json so successive PRs can compare performance.
+type Artifact struct {
+	Schema  string   `json:"schema"`
+	Budget  Budget   `json:"budget"`
+	Results []Result `json:"results"`
+}
+
+// ArtifactSchema versions the artifact layout.
+const ArtifactSchema = "livetm/workload-matrix/v1"
+
+// WriteArtifact writes the result cells and the budget they were
+// measured under as a JSON artifact.
+func WriteArtifact(path string, budget Budget, results []Result) error {
+	data, err := json.MarshalIndent(Artifact{Schema: ArtifactSchema, Budget: budget, Results: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatResults renders the cells as an aligned text table.
+func FormatResults(results []Result) string {
+	out := fmt.Sprintf("%-16s %-24s %10s %10s %7s %12s %14s\n",
+		"engine", "workload", "commits", "aborts", "abrt%", "ops/sec", "commits/step")
+	for _, r := range results {
+		rate := ""
+		if r.OpsPerSec > 0 {
+			rate = fmt.Sprintf("%12.0f", r.OpsPerSec)
+		} else {
+			rate = fmt.Sprintf("%12s", "-")
+		}
+		cps := ""
+		if r.CommitsPerStep > 0 {
+			cps = fmt.Sprintf("%14.4f", r.CommitsPerStep)
+		} else {
+			cps = fmt.Sprintf("%14s", "-")
+		}
+		out += fmt.Sprintf("%-16s %-24s %10d %10d %6.1f%% %s %s\n",
+			r.Engine, r.Workload, r.Commits, r.Aborts, 100*r.AbortRate, rate, cps)
+	}
+	return out
+}

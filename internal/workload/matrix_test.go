@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"livetm/internal/engine"
+)
+
+func TestMatrixShape(t *testing.T) {
+	procs := []int{2, 4}
+	specs := Matrix(procs)
+	want := len(procs) * len(Mixes()) * len(Contentions()) * 2
+	if len(specs) != want {
+		t.Fatalf("matrix has %d specs, want %d", len(specs), want)
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate spec name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Vars < s.Procs {
+			t.Errorf("%s: vars %d < procs %d (disjoint partitions impossible)", s.Name, s.Vars, s.Procs)
+		}
+	}
+}
+
+// indexRecorder captures the variable indexes a body touches.
+type indexRecorder struct{ touched []int }
+
+func (r *indexRecorder) Read(i int) (int64, error) { r.touched = append(r.touched, i); return 0, nil }
+func (r *indexRecorder) Write(i int, v int64) error {
+	r.touched = append(r.touched, i)
+	return nil
+}
+
+// TestDisjointPartitions: a disjoint spec's body must stay inside its
+// process's own variable partition, and the operation sequence must
+// be a pure function of (proc, round) — idempotent across retries.
+func TestDisjointPartitions(t *testing.T) {
+	for _, spec := range Matrix([]int{4}) {
+		body := spec.Body()
+		for proc := 0; proc < spec.Procs; proc++ {
+			for round := 0; round < 10; round++ {
+				a, b := &indexRecorder{}, &indexRecorder{}
+				if err := body(proc, round, a); err != nil {
+					t.Fatal(err)
+				}
+				if err := body(proc, round, b); err != nil {
+					t.Fatal(err)
+				}
+				if len(a.touched) != len(b.touched) {
+					t.Fatalf("%s: body not deterministic", spec.Name)
+				}
+				per := spec.Vars / spec.Procs
+				for k, i := range a.touched {
+					if i != b.touched[k] {
+						t.Fatalf("%s: body not deterministic", spec.Name)
+					}
+					if i < 0 || i >= spec.Vars {
+						t.Fatalf("%s: index %d out of range", spec.Name, i)
+					}
+					if spec.Sharing == Disjoint && (i < proc*per || i >= (proc+1)*per) {
+						t.Fatalf("%s: proc %d touched foreign variable %d", spec.Name, proc, i)
+					}
+				}
+				if want := spec.Mix.Reads + 2*spec.Mix.Writes; len(a.touched) != want {
+					t.Fatalf("%s: %d operations, want %d", spec.Name, len(a.touched), want)
+				}
+			}
+		}
+	}
+}
+
+// TestUndersizedDisjointSpec: a hand-built spec with fewer variables
+// than processes must fail with a clean error, not divide by zero.
+func TestUndersizedDisjointSpec(t *testing.T) {
+	spec := Spec{Name: "bad", Procs: 4, Vars: 2, Mix: Mix{Reads: 1, Writes: 1}, Sharing: Disjoint}
+	body := spec.Body()
+	rec := &indexRecorder{}
+	if err := body(0, 0, rec); err != nil { // in-range process still works
+		t.Fatal(err)
+	}
+	e, ok := engine.Lookup("native-tl2")
+	if !ok {
+		t.Fatal("native-tl2 not registered")
+	}
+	_, err := e.Run(engine.RunConfig{Procs: spec.Procs, Vars: spec.Vars, OpsPerProc: 2}, body)
+	if err == nil {
+		t.Fatal("undersized disjoint spec must surface an error")
+	}
+}
+
+// TestRunMatrixCrossEngine runs a small matrix on one engine per
+// substrate and round-trips the artifact.
+func TestRunMatrixCrossEngine(t *testing.T) {
+	var engines []engine.Engine
+	for _, name := range []string{"sim-tl2", "native-tl2"} {
+		e, ok := engine.Lookup(name)
+		if !ok {
+			t.Fatalf("engine %s not registered", name)
+		}
+		engines = append(engines, e)
+	}
+	specs := Matrix([]int{2})
+	results, err := RunMatrix(engines, specs, Budget{SimSteps: 400, NativeOps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(engines)*len(specs) {
+		t.Fatalf("got %d cells, want %d", len(results), len(engines)*len(specs))
+	}
+	for _, r := range results {
+		if r.Commits == 0 {
+			t.Errorf("%s/%s: no commits", r.Engine, r.Workload)
+		}
+		if r.Substrate == "native" && r.OpsPerSec == 0 {
+			t.Errorf("%s/%s: native cell without ops/sec", r.Engine, r.Workload)
+		}
+		if r.Substrate == "sim" && r.CommitsPerStep == 0 {
+			t.Errorf("%s/%s: sim cell without commits/step", r.Engine, r.Workload)
+		}
+	}
+	if FormatResults(results) == "" {
+		t.Error("empty table")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_native.json")
+	if err := WriteArtifact(path, Budget{SimSteps: 400, NativeOps: 30}, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != ArtifactSchema {
+		t.Errorf("schema = %q", art.Schema)
+	}
+	if len(art.Results) != len(results) {
+		t.Errorf("artifact has %d cells, want %d", len(art.Results), len(results))
+	}
+}
