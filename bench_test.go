@@ -11,6 +11,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"livetm/internal/adversary"
 	"livetm/internal/automaton"
@@ -409,6 +410,56 @@ func BenchmarkWorkloadMatrix(b *testing.B) {
 		len(engines), len(specs), len(results)))
 	b.ReportMetric(float64(commits), "commits")
 	b.ReportMetric(float64(aborts), "aborts")
+}
+
+// --- Recorder overhead: recorded vs unrecorded native runs ---
+
+// BenchmarkRecorderOverhead measures what history recording costs on
+// the native hot path: the default workload (4 procs, update mix, hot
+// contention, shared variables) on native-tl2, unrecorded vs recorded.
+// Each recorded event is one atomic fetch-add plus a process-local
+// append, so the slowdown must stay well under the 2x budget.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	var spec workload.Spec
+	for _, s := range workload.Matrix([]int{4}) {
+		if s.Mix.Name == "update" && s.Contention.Name == "hot" && s.Sharing == workload.Shared {
+			spec = s
+			break
+		}
+	}
+	e, ok := engine.Lookup("native-tl2")
+	if !ok {
+		b.Fatal("native-tl2 not registered")
+	}
+	const ops = 2000
+	measure := func(b *testing.B, record bool) float64 {
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			st, err := e.Run(engine.RunConfig{
+				Procs: spec.Procs, Vars: spec.Vars,
+				OpsPerProc: ops, Record: record,
+			}, spec.Body())
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed += time.Since(start)
+			if record && len(st.History) == 0 {
+				b.Fatal("recording run returned no history")
+			}
+		}
+		rate := float64(b.N) * float64(spec.Procs*ops) / elapsed.Seconds()
+		b.ReportMetric(rate, "commits/sec")
+		return rate
+	}
+	var raw, recorded float64
+	b.Run("unrecorded", func(b *testing.B) { raw = measure(b, false) })
+	b.Run("recorded", func(b *testing.B) { recorded = measure(b, true) })
+	if raw > 0 && recorded > 0 {
+		printHeader("recorder", fmt.Sprintf(
+			"recorder overhead (%s on native-tl2): unrecorded %.0f commits/sec, recorded %.0f commits/sec -> %.2fx slowdown (budget 2x)\n",
+			spec.Name, raw, recorded, raw/recorded))
+	}
 }
 
 // --- Ablations (DESIGN.md §5) ---

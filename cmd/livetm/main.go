@@ -12,8 +12,18 @@
 //	    the resulting history suffix (Figures 9, 10, 12, 13).
 //
 //	livetm check -file FILE
-//	    Load a JSON Lines trace and decide opacity and strict
-//	    serializability, printing a witness serialization.
+//	    Load a JSON Lines trace ("-" reads stdin) and decide opacity
+//	    and strict serializability, printing a witness serialization.
+//
+//	livetm record -engine NAME [-procs N] [-ops N] [-mix M] [-contention C] [-sharing S] [-out FILE]
+//	    Run a recording-capable engine (native algorithms included)
+//	    with history recording and write the history as a JSON Lines
+//	    trace ("-" writes stdout, so it pipes into check/monitor).
+//
+//	livetm monitor -file FILE [-segment N] [-window N] [-every N]
+//	    Stream a trace ("-" reads stdin, live from a pipe) through the
+//	    online monitor: incremental opacity checking plus per-process
+//	    progress accounting classified against the liveness lattice.
 //
 //	livetm classify -file FILE [-split N]
 //	    Read a trace as an infinite history (observed tail repeated
@@ -53,15 +63,18 @@
 //	    List every (algorithm, substrate) engine behind the unified
 //	    engine API with its capabilities.
 //
-//	livetm workloads [-procs LIST] [-simsteps N] [-ops N] [-out FILE]
+//	livetm workloads [-procs LIST] [-simsteps N] [-ops N] [-out FILE] [-record] [-check]
 //	    Run the declared workload matrix on every engine of both
 //	    substrates and print the result table (optionally writing the
-//	    BENCH_native.json artifact).
+//	    BENCH_native.json artifact); -record captures each cell's
+//	    history and -check verifies it through the online monitor.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -74,6 +87,7 @@ import (
 	"livetm/internal/fgp"
 	"livetm/internal/liveness"
 	"livetm/internal/model"
+	"livetm/internal/monitor"
 	"livetm/internal/safety"
 	"livetm/internal/sim"
 	"livetm/internal/stm"
@@ -88,56 +102,70 @@ func main() {
 	}
 }
 
+// subcommands is the single dispatch table; usage() derives the
+// synopsis from it, so adding a subcommand here is the whole job.
+var subcommands = []struct {
+	name string
+	run  func(args []string) error
+}{
+	{"matrix", cmdMatrix},
+	{"check", cmdCheck},
+	{"classify", cmdClassify},
+	{"adversary", cmdAdversary},
+	{"theorem1", cmdTheorem1},
+	{"theorem3", cmdTheorem3},
+	{"fgp-states", cmdFgpStates},
+	{"fgp-dot", cmdFgpDOT},
+	{"explore", cmdExplore},
+	{"lattice", cmdLattice},
+	{"report", cmdReport},
+	{"record", cmdRecord},
+	{"monitor", cmdMonitor},
+	{"tms", cmdTMs},
+	{"engines", cmdEngines},
+	{"workloads", cmdWorkloads},
+}
+
 func run(args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
 	}
 	switch args[0] {
-	case "matrix":
-		return cmdMatrix(args[1:])
-	case "check":
-		return cmdCheck(args[1:])
-	case "classify":
-		return cmdClassify(args[1:])
-	case "adversary":
-		return cmdAdversary(args[1:])
-	case "theorem1":
-		return cmdTheorem1(args[1:])
-	case "theorem3":
-		return cmdTheorem3(args[1:])
-	case "fgp-states":
-		return cmdFgpStates(args[1:])
-	case "fgp-dot":
-		return cmdFgpDOT(args[1:])
-	case "explore":
-		return cmdExplore(args[1:])
-	case "lattice":
-		return cmdLattice(args[1:])
-	case "report":
-		return cmdReport(args[1:])
-	case "tms":
-		return cmdTMs()
-	case "engines":
-		return cmdEngines()
-	case "workloads":
-		return cmdWorkloads(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
-	default:
-		usage()
-		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+	for _, sc := range subcommands {
+		if sc.name == args[0] {
+			return sc.run(args[1:])
+		}
+	}
+	usage()
+	return fmt.Errorf("unknown subcommand %q", args[0])
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: livetm <matrix|check|classify|adversary|theorem1|theorem3|fgp-states|fgp-dot|explore|lattice|report|tms|engines|workloads> [flags]")
+	names := make([]string, len(subcommands))
+	for i, sc := range subcommands {
+		names[i] = sc.name
+	}
+	fmt.Fprintf(os.Stderr, "usage: livetm <%s> [flags]\n", strings.Join(names, "|"))
+}
+
+// loadTraceArg reads a JSON Lines trace from the -file argument, with
+// "-" meaning stdin so traces pipe between subcommands without a temp
+// file.
+func loadTraceArg(file string) (model.History, error) {
+	if file == "-" {
+		return model.ReadTrace(os.Stdin)
+	}
+	return model.LoadTrace(file)
 }
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
-	file := fs.String("file", "", "JSON Lines trace file (see `livetm adversary -out`)")
+	file := fs.String("file", "", "JSON Lines trace file, or - for stdin (see `livetm adversary -out`, `livetm record`)")
 	render := fs.Bool("render", true, "render the history")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,7 +173,7 @@ func cmdCheck(args []string) error {
 	if *file == "" {
 		return fmt.Errorf("check: -file is required")
 	}
-	h, err := model.LoadTrace(*file)
+	h, err := loadTraceArg(*file)
 	if err != nil {
 		return err
 	}
@@ -196,7 +224,7 @@ func cmdMatrix(args []string) error {
 
 func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
-	file := fs.String("file", "", "JSON Lines trace file")
+	file := fs.String("file", "", "JSON Lines trace file, or - for stdin")
 	split := fs.Int("split", -1, "prefix length; the rest is read as the repeating tail (default: half)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -204,7 +232,7 @@ func cmdClassify(args []string) error {
 	if *file == "" {
 		return fmt.Errorf("classify: -file is required")
 	}
-	h, err := model.LoadTrace(*file)
+	h, err := loadTraceArg(*file)
 	if err != nil {
 		return err
 	}
@@ -524,7 +552,10 @@ func cmdLattice(args []string) error {
 	return nil
 }
 
-func cmdTMs() error {
+func cmdTMs(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("tms: unexpected arguments %v", args)
+	}
 	for _, nf := range core.Registry(true) {
 		kind := "paper system"
 		if nf.Ablation {
@@ -537,7 +568,10 @@ func cmdTMs() error {
 	return nil
 }
 
-func cmdEngines() error {
+func cmdEngines(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("engines: unexpected arguments %v", args)
+	}
 	ablation := map[string]bool{}
 	for _, nf := range core.Registry(true) {
 		if nf.Ablation {
@@ -564,8 +598,15 @@ func cmdWorkloads(args []string) error {
 	ops := fs.Int("ops", 500, "committed transactions per process per native cell")
 	out := fs.String("out", "", "also write the BENCH_native.json artifact here")
 	ablations := fs.Bool("ablations", false, "include the simulated ablation variants")
+	record := fs.Bool("record", false, "record each cell's history")
+	check := fs.Bool("check", false, "verify each recorded history through the online monitor (implies -record)")
+	quiesce := fs.Int("quiesce", 4, "rendezvous interval (rounds) of recorded native cells (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	quiesceOpt := *quiesce
+	if quiesceOpt <= 0 {
+		quiesceOpt = -1 // "never" in workload.Options
 	}
 	var procs []int
 	for _, part := range strings.Split(*procsArg, ",") {
@@ -579,16 +620,144 @@ func cmdWorkloads(args []string) error {
 	specs := workload.Matrix(procs)
 	budget := workload.Budget{SimSteps: *simSteps, NativeOps: *ops}
 	fmt.Printf("running %d workloads × %d engines...\n", len(specs), len(engines))
-	results, err := workload.RunMatrix(engines, specs, budget)
+	results, err := workload.RunMatrixOptions(engines, specs, budget,
+		workload.Options{Record: *record, Check: *check, QuiesceEvery: quiesceOpt})
 	if err != nil {
 		return err
 	}
 	fmt.Print(workload.FormatResults(results))
+	if *check {
+		checked := 0
+		for _, r := range results {
+			if r.Checked {
+				checked++
+			}
+		}
+		fmt.Printf("checked %d of %d recorded cells well-formed and opaque (the rest undecided within the cut budget)\n",
+			checked, len(results))
+	}
 	if *out != "" {
 		if err := workload.WriteArtifact(*out, budget, results); err != nil {
 			return err
 		}
 		fmt.Printf("artifact written to %s (%d cells)\n", *out, len(results))
 	}
+	return nil
+}
+
+// cmdRecord runs one recording-capable engine over a workload-matrix
+// style body and writes the recorded history as a JSON Lines trace.
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	name := fs.String("engine", "native-tl2", "engine to run (see `livetm engines`)")
+	procsN := fs.Int("procs", 2, "process count")
+	ops := fs.Int("ops", 50, "rounds per process (native), round budget (sim)")
+	simSteps := fs.Int("simsteps", 20000, "scheduler step budget (simulated engines)")
+	mixName := fs.String("mix", "update", "read/write mix: update, readheavy or writeheavy")
+	contentionName := fs.String("contention", "hot", "contention level: hot or cold")
+	sharing := fs.String("sharing", "shared", "variable sharing: shared or disjoint")
+	quiesce := fs.Int("quiesce", 4, "rendezvous interval (rounds) on native engines; plants the quiescent cuts the checkers need (0 = never)")
+	seed := fs.Uint64("seed", 1, "scheduler seed (simulated engines)")
+	out := fs.String("out", "-", "trace file, or - for stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	e, ok := engine.Lookup(*name)
+	if !ok {
+		return fmt.Errorf("record: unknown engine %q", *name)
+	}
+	caps := e.Capabilities()
+	if !caps.HistoryRecording {
+		return fmt.Errorf("record: engine %s cannot record histories", e.Name())
+	}
+	// Select the cell from the declared matrix rather than rebuilding
+	// it, so recorded traces always match the matrix cell of the same
+	// name.
+	var spec workload.Spec
+	found := false
+	for _, s := range workload.Matrix([]int{*procsN}) {
+		if s.Mix.Name == *mixName && s.Contention.Name == *contentionName && string(s.Sharing) == *sharing {
+			spec, found = s, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("record: no matrix cell with mix %q, contention %q, sharing %q", *mixName, *contentionName, *sharing)
+	}
+	cfg := engine.RunConfig{
+		Procs:      spec.Procs,
+		Vars:       spec.Vars,
+		Seed:       *seed,
+		OpsPerProc: *ops,
+		Record:     true,
+	}
+	if caps.Substrate == engine.Simulated {
+		cfg.SimSteps = *simSteps
+	} else {
+		cfg.QuiesceEvery = *quiesce
+	}
+	st, err := e.Run(cfg, spec.Body())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %s on %s: %d events, commits=%d aborts=%d\n",
+		spec.Name, e.Name(), len(st.History), st.Commits, st.Aborts)
+	if *out == "-" {
+		return model.WriteTrace(os.Stdout, st.History)
+	}
+	if err := model.SaveTrace(*out, st.History); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", *out)
+	return nil
+}
+
+// cmdMonitor streams a trace — live from a pipe or replayed from a
+// file — through the online monitor.
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
+	file := fs.String("file", "", "JSON Lines trace file, or - for stdin")
+	segment := fs.Int("segment", 48, "streaming opacity segment budget (transactions)")
+	window := fs.Int("window", 256, "tail window (events) for liveness classification")
+	every := fs.Int("every", 0, "print a progress line every N events (0 = only the final report)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("monitor: -file is required")
+	}
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	m, err := monitor.New(monitor.Config{SegmentTxns: *segment, TailWindow: *window})
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(in)
+	var firstErr error
+	for i := 0; ; i++ {
+		var e model.Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("monitor: decode event %d: %w", i, err)
+		}
+		// Terminal safety errors land in the report; the liveness half
+		// keeps accounting, which is the point of monitoring live.
+		if err := m.Observe(e); err != nil && firstErr == nil {
+			firstErr = err
+			fmt.Fprintf(os.Stderr, "after event %d: %v\n", i+1, err)
+		}
+		if *every > 0 && (i+1)%*every == 0 {
+			fmt.Fprintf(os.Stderr, "observed %d events...\n", i+1)
+		}
+	}
+	fmt.Print(m.Report().Format())
 	return nil
 }

@@ -155,3 +155,99 @@ func TestCmdWorkloads(t *testing.T) {
 		t.Error("bad process list must error")
 	}
 }
+
+// withStdin temporarily redirects os.Stdin to the given file.
+func withStdin(t *testing.T, path string, fn func()) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	old := os.Stdin
+	os.Stdin = f
+	defer func() { os.Stdin = old }()
+	fn()
+}
+
+func TestCmdRecordAndMonitor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "native.jsonl")
+	if err := run([]string{"record", "-engine", "native-tl2", "-procs", "2", "-ops", "15", "-quiesce", "3", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace missing or empty: %v", err)
+	}
+	if err := run([]string{"monitor", "-file", path, "-every", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", "-file", path, "-render=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"record", "-engine", "no-such"}); err == nil {
+		t.Error("unknown engine must error")
+	}
+	if err := run([]string{"record", "-engine", "native-tl2", "-mix", "wat"}); err == nil {
+		t.Error("unknown mix must error")
+	}
+	if err := run([]string{"monitor"}); err == nil {
+		t.Error("monitor without -file must error")
+	}
+	if err := run([]string{"monitor", "-file", filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
+		t.Error("monitor with a missing file must error")
+	}
+}
+
+func TestCmdRecordSimEngine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sim.jsonl")
+	if err := run([]string{"record", "-engine", "sim-tl2", "-procs", "2", "-ops", "5", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"monitor", "-file", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCmdCheckStdin: `livetm record ... | livetm check -file -` works
+// without a temp file (stdin stands in for the pipe here).
+func TestCmdCheckStdin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"record", "-engine", "native-norec", "-procs", "2", "-ops", "10", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	withStdin(t, path, func() {
+		if err := run([]string{"check", "-file", "-", "-render=false"}); err != nil {
+			t.Error(err)
+		}
+	})
+	withStdin(t, path, func() {
+		if err := run([]string{"monitor", "-file", "-"}); err != nil {
+			t.Error(err)
+		}
+	})
+	withStdin(t, path, func() {
+		if err := run([]string{"classify", "-file", "-"}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestCmdWorkloadsChecked(t *testing.T) {
+	if err := run([]string{"workloads", "-procs", "2", "-simsteps", "300", "-ops", "12", "-check"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubcommandTable(t *testing.T) {
+	for _, sc := range subcommands {
+		if sc.name == "" || sc.run == nil {
+			t.Fatalf("malformed dispatch entry %+v", sc)
+		}
+	}
+	if err := run([]string{"tms", "stray"}); err == nil {
+		t.Error("tms with arguments must error")
+	}
+	if err := run([]string{"engines", "stray"}); err == nil {
+		t.Error("engines with arguments must error")
+	}
+}

@@ -13,10 +13,16 @@
 // (internal/sim + internal/stm/...) for the paper's adversarial
 // liveness and opacity experiments, and real-concurrency sync/atomic
 // implementations (internal/native) for the wall-clock scalability
-// argument of footnote 1. The workload matrix (internal/workload) is
-// declared once and executed against every (algorithm, substrate)
-// pair; see internal/engine's package documentation for when to use
-// which substrate.
+// argument of footnote 1. Both substrates record histories: native
+// runs are observed at their linearization points through
+// internal/record (per-process buffers ordered by one atomic sequence
+// counter), and internal/monitor checks any history online — a
+// streaming segmented opacity check plus per-process progress
+// accounting classified against the liveness lattice. The workload
+// matrix (internal/workload) is declared once and executed against
+// every (algorithm, substrate) pair, optionally recording and checking
+// each cell; see internal/engine's package documentation for when to
+// use which substrate.
 //
 // The implementation lives under internal/; see README.md for the
 // architecture, cmd/figures and cmd/livetm for the experiment

@@ -59,8 +59,9 @@ func run() error {
 	fmt.Printf("  %-12s %3d commits, %2d aborts in %4d scheduler steps; recorded history of %d events is opaque\n",
 		simEngine.Name(), simStats.Commits, simStats.Aborts, simStats.Steps, len(simStats.History))
 
-	// 2. The native substrate: the same body on real cores. No
-	// history — the payoff is wall-clock scalability.
+	// 2. The native substrate: the same body on real cores, here with
+	// recording off — the payoff is wall-clock scalability (see
+	// examples/monitor for a recorded and checked native run).
 	nativeEngine, ok := engine.Lookup("native-tl2")
 	if !ok {
 		return fmt.Errorf("native-tl2 not registered")

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun executes the whole example: a recorded native run must pass
+// the online monitor's opacity check, land every liveness verdict, and
+// conserve the counter. Run with -race.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

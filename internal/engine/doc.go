@@ -19,14 +19,23 @@
 // goroutines on real cores over sync/atomic, reproducing the paper's
 // footnote-1 motivation — resilient TMs matter because of parallel
 // hardware. It measures real throughput and real contention, but
-// schedules are up to the Go runtime and the hardware: runs are not
-// reproducible and histories are not recorded.
+// schedules are up to the Go runtime and the hardware, so runs are not
+// reproducible. Histories, however, are recordable on both substrates:
+// with RunConfig.Record a native run is observed at its linearization
+// points (internal/native's Observer hooks feeding internal/record's
+// per-process buffers, globally ordered by one atomic sequence
+// counter), and Stats.History carries a well-formed model.History of
+// what the hardware actually did. RunConfig.QuiesceEvery plants
+// quiescent cuts in recorded runs so the segmented and streaming
+// opacity checkers (safety.CheckOpacitySegmented, internal/monitor)
+// can verify arbitrarily long native executions in bounded memory.
 //
 // Use the simulated substrate to ask "is it correct / live under this
-// exact adversarial schedule", and the native substrate to ask "how
-// fast is it on this machine". The workload matrix
-// (internal/workload) declares each scenario once and runs it on
-// every (algorithm, substrate) pair through this package.
+// exact adversarial schedule", the native substrate to ask "how fast
+// is it on this machine", and a recorded native run to ask "was this
+// real execution opaque, and which processes progressed". The workload
+// matrix (internal/workload) declares each scenario once and runs it
+// on every (algorithm, substrate) pair through this package.
 //
 // # The API
 //

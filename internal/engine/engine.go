@@ -67,9 +67,18 @@ type RunConfig struct {
 	// forever, e.g. behind a wedged lock holder.
 	SimSteps int
 	// Record captures the run's history in the paper's event
-	// vocabulary (simulated substrate only; see
-	// Capabilities.HistoryRecording).
+	// vocabulary (see Capabilities.HistoryRecording). On the simulated
+	// substrate the recorder wraps the TM inside the deterministic
+	// scheduler; on the native substrate the per-process recorder of
+	// internal/record hangs off the algorithms' linearization-point
+	// hooks.
 	Record bool
+	// QuiesceEvery makes a recorded native run rendezvous all
+	// processes every that-many rounds (0 = never). Each rendezvous is
+	// a quiescent cut in the recorded history, which the segmented and
+	// streaming opacity checkers need to keep their search windows
+	// bounded; unrecorded runs and throughput measurements leave it 0.
+	QuiesceEvery int
 }
 
 func (cfg RunConfig) validate(sub Substrate) error {
@@ -88,8 +97,11 @@ func (cfg RunConfig) validate(sub Substrate) error {
 		if cfg.OpsPerProc <= 0 {
 			return fmt.Errorf("engine: native runs need a positive OpsPerProc budget")
 		}
-		if cfg.Record {
-			return fmt.Errorf("engine: the native substrate cannot record histories")
+		if cfg.QuiesceEvery < 0 {
+			return fmt.Errorf("engine: QuiesceEvery must be non-negative, got %d", cfg.QuiesceEvery)
+		}
+		if cfg.QuiesceEvery > 0 && !cfg.Record {
+			return fmt.Errorf("engine: QuiesceEvery only applies to recorded runs")
 		}
 	}
 	return nil

@@ -91,8 +91,8 @@ func TestRegistryShape(t *testing.T) {
 		if s.Capabilities().RealConcurrency || !n.Capabilities().RealConcurrency {
 			t.Errorf("%s: substrate capabilities inverted", alg)
 		}
-		if !s.Capabilities().HistoryRecording || n.Capabilities().HistoryRecording {
-			t.Errorf("%s: recording capabilities inverted", alg)
+		if !s.Capabilities().HistoryRecording || !n.Capabilities().HistoryRecording {
+			t.Errorf("%s: both substrates must record histories", alg)
 		}
 	}
 	if _, ok := Lookup("no-such-engine"); ok {
@@ -109,9 +109,10 @@ func TestRunConfigValidation(t *testing.T) {
 	}{
 		{s, RunConfig{Procs: 0, Vars: 1, SimSteps: 10}},
 		{s, RunConfig{Procs: 1, Vars: 0, SimSteps: 10}},
-		{s, RunConfig{Procs: 1, Vars: 1}}, // no step budget
-		{n, RunConfig{Procs: 1, Vars: 1}}, // no ops budget
-		{n, RunConfig{Procs: 1, Vars: 1, OpsPerProc: 1, Record: true}},
+		{s, RunConfig{Procs: 1, Vars: 1}},                                 // no step budget
+		{n, RunConfig{Procs: 1, Vars: 1}},                                 // no ops budget
+		{n, RunConfig{Procs: 1, Vars: 1, OpsPerProc: 1, QuiesceEvery: 2}}, // quiesce without recording
+		{n, RunConfig{Procs: 1, Vars: 1, OpsPerProc: 1, Record: true, QuiesceEvery: -1}},
 	}
 	for i, c := range cases {
 		if _, err := c.e.Run(c.cfg, counterBody(0)); err == nil {

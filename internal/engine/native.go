@@ -4,12 +4,17 @@ import (
 	"errors"
 	"sync"
 
+	"livetm/internal/model"
 	"livetm/internal/native"
+	"livetm/internal/record"
 )
 
 // NativeEngine adapts a native (real-concurrency) TM to the Engine
 // interface: processes are goroutines, the budget is transaction
-// rounds, and throughput is wall-clock real.
+// rounds, and throughput is wall-clock real. With RunConfig.Record the
+// run is observed at its linearization points through internal/record,
+// so the history reaching Stats.History is checkable like a simulated
+// one.
 type NativeEngine struct {
 	info native.Info
 }
@@ -40,7 +45,7 @@ func (e *NativeEngine) Capabilities() Capabilities {
 		Substrate:           Native,
 		RealConcurrency:     true,
 		DeterministicReplay: false,
-		HistoryRecording:    false,
+		HistoryRecording:    true,
 		Nonblocking:         e.info.Nonblocking,
 	}
 }
@@ -68,6 +73,54 @@ func (t nativeTx) Write(i int, v int64) error {
 	}
 }
 
+// barrier is a cyclic rendezvous that tolerates departures: a process
+// that finishes its budget (or stops on an error) leaves, and the
+// remaining parties rendezvous among themselves instead of deadlocking
+// on the missing one.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until every remaining party arrives.
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting >= b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}
+
+// leave removes the caller from the rendezvous set, releasing a
+// now-complete phase if it was the straggler.
+func (b *barrier) leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parties--
+	if b.waiting > 0 && b.waiting >= b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+	}
+}
+
 // Run implements Engine.
 func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 	if err := cfg.validate(Native); err != nil {
@@ -76,6 +129,21 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 	tm, err := e.info.New(cfg.Vars)
 	if err != nil {
 		return Stats{}, err
+	}
+	var rec *record.Recorder
+	var obsTM native.ObservableTM
+	if cfg.Record {
+		var ok bool
+		if obsTM, ok = tm.(native.ObservableTM); !ok {
+			return Stats{}, errors.New("engine: " + e.info.Name + " does not expose linearization-point hooks")
+		}
+		// Pre-size each process's buffer for its committed rounds; a
+		// busier run grows process-locally.
+		rec = record.New(cfg.Procs, cfg.OpsPerProc*8+16)
+	}
+	var bar *barrier
+	if cfg.Record && cfg.QuiesceEvery > 0 {
+		bar = newBarrier(cfg.Procs)
 	}
 	commits := make([]uint64, cfg.Procs)
 	noCommits := make([]uint64, cfg.Procs)
@@ -86,15 +154,31 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var obs native.Observer
+			if rec != nil {
+				obs = rec.Log(model.Proc(proc + 1))
+			}
+			if bar != nil {
+				defer bar.leave()
+			}
 			for round := 0; round < cfg.OpsPerProc; round++ {
-				err := tm.Atomically(func(tx native.Txn) error {
+				if bar != nil && round > 0 && round%cfg.QuiesceEvery == 0 {
+					bar.await()
+				}
+				fn := func(tx native.Txn) error {
 					if err := body(proc, round, nativeTx{tx: tx}); errors.Is(err, ErrAborted) {
 						// Hand the abort back to the native retry loop.
 						return native.ErrAborted
 					} else {
 						return err
 					}
-				})
+				}
+				var err error
+				if obsTM != nil {
+					err = obsTM.AtomicallyObserved(obs, fn)
+				} else {
+					err = tm.Atomically(fn)
+				}
 				switch {
 				case err == nil:
 					commits[proc]++
@@ -113,6 +197,9 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 	for p := 0; p < cfg.Procs; p++ {
 		st.Commits += commits[p]
 		st.NoCommits += noCommits[p]
+	}
+	if rec != nil {
+		st.History = rec.History()
 	}
 	for _, err := range errs {
 		if err != nil {

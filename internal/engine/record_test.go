@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"livetm/internal/model"
+	"livetm/internal/monitor"
+	"livetm/internal/safety"
+)
+
+// TestNativeRecordingConformance is the end-to-end acceptance check
+// for the native recorder: every native algorithm runs real goroutines
+// with recording on, and the drained history must be well-formed and
+// pass the (streaming) opacity check. Run with -race.
+//
+// The workloads keep the checker's search windows small: QuiesceEvery
+// plants quiescent cuts, few processes bound the concurrent
+// transactions per window, and the disjoint variant keeps abort storms
+// (which add transactions between cuts) out of the hot loop.
+func TestNativeRecordingConformance(t *testing.T) {
+	workloads := []struct {
+		name  string
+		procs int
+		vars  int
+		body  func(nVars int) TxBody
+	}{
+		{"disjoint", 3, 12, func(nVars int) TxBody {
+			return func(proc, round int, tx Tx) error {
+				base := proc * 4
+				i := base + round%4
+				v, err := tx.Read(i)
+				if err != nil {
+					return err
+				}
+				return tx.Write(i, v+1)
+			}
+		}},
+		{"shared-counter", 2, 1, func(nVars int) TxBody {
+			return counterBody(0)
+		}},
+	}
+	for _, e := range Engines(false) {
+		if e.Capabilities().Substrate != Native {
+			continue
+		}
+		for _, w := range workloads {
+			t.Run(e.Name()+"/"+w.name, func(t *testing.T) {
+				st, err := e.Run(RunConfig{
+					Procs: w.procs, Vars: w.vars,
+					OpsPerProc: 12, Record: true, QuiesceEvery: 2,
+				}, w.body(w.vars))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := uint64(w.procs * 12); st.Commits != want {
+					t.Fatalf("commits = %d, want %d", st.Commits, want)
+				}
+				h := st.History
+				if len(h) == 0 {
+					t.Fatal("recording run returned no history")
+				}
+				if err := model.CheckWellFormed(h); err != nil {
+					t.Fatalf("malformed recorded history: %v", err)
+				}
+				m, err := monitor.New(monitor.Config{SegmentTxns: 48})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.ObserveHistory(h); err != nil {
+					t.Fatalf("monitor: %v", err)
+				}
+				r := m.Report()
+				if !r.Checked {
+					t.Fatalf("opacity undecided: %s", r.Opacity.Reason)
+				}
+				if !r.Opacity.Holds {
+					t.Fatalf("recorded native history not opaque: %s", r.Opacity.Reason)
+				}
+				// Every process committed its full budget; the lasso
+				// reading of the run must make progress everywhere.
+				for _, p := range r.Procs {
+					if p.Commits != 12 {
+						t.Errorf("p%d commits = %d, want 12", p.Proc, p.Commits)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestNativeRecordingCounts: the recorded history carries exactly the
+// run's commits, and aborted attempts show up as aborted transactions.
+func TestNativeRecordingCounts(t *testing.T) {
+	e, ok := Lookup("native-tl2")
+	if !ok {
+		t.Fatal("native-tl2 not registered")
+	}
+	st, err := e.Run(RunConfig{
+		Procs: 2, Vars: 1, OpsPerProc: 25, Record: true, QuiesceEvery: 5,
+	}, counterBody(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns, err := model.Transactions(st.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed, aborted uint64
+	for _, txn := range txns {
+		switch txn.Status {
+		case model.Committed:
+			committed++
+		case model.Aborted:
+			aborted++
+		}
+	}
+	if committed != st.Commits {
+		t.Errorf("recorded commits = %d, stats say %d", committed, st.Commits)
+	}
+	if aborted != st.Aborts {
+		t.Errorf("recorded aborts = %d, stats say %d", aborted, st.Aborts)
+	}
+}
+
+// TestNativeRecordingParasitic: declined commits (ErrNoCommit) are
+// recorded as completion aborts — the native TM really does discard
+// the attempt — keeping the history well-formed across rounds.
+func TestNativeRecordingParasitic(t *testing.T) {
+	e, _ := Lookup("native-dstm")
+	st, err := e.Run(RunConfig{Procs: 2, Vars: 1, OpsPerProc: 20, Record: true, QuiesceEvery: 4},
+		func(proc, round int, tx Tx) error {
+			if proc == 0 {
+				return parasiticBody(0)(proc, round, tx)
+			}
+			return counterBody(0)(proc, round, tx)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.CheckWellFormed(st.History); err != nil {
+		t.Fatalf("malformed: %v", err)
+	}
+	if st.NoCommits != 20 {
+		t.Fatalf("parasitic rounds = %d, want 20", st.NoCommits)
+	}
+	for _, ev := range st.History.Projection(1) {
+		if ev.Kind == model.RespCommit {
+			t.Fatal("the parasite's projection contains a commit event")
+		}
+	}
+	res, err := safety.CheckOpacitySegmented(st.History, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("not opaque: %s", res.Reason)
+	}
+}
+
+// TestRecordedTraceRoundTrip: a recorded native history survives
+// serialize → parse → CheckWellFormed, so `livetm record` output feeds
+// `livetm check`/`livetm monitor` losslessly.
+func TestRecordedTraceRoundTrip(t *testing.T) {
+	e, _ := Lookup("native-norec")
+	st, err := e.Run(RunConfig{Procs: 2, Vars: 4, OpsPerProc: 10, Record: true, QuiesceEvery: 2},
+		mixedBody(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "native.jsonl")
+	if err := model.SaveTrace(path, st.History); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := model.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.CheckWellFormed(loaded); err != nil {
+		t.Fatalf("round-tripped history malformed: %v", err)
+	}
+	if len(loaded) != len(st.History) {
+		t.Fatalf("round trip changed length: %d vs %d", len(loaded), len(st.History))
+	}
+	for i := range loaded {
+		if loaded[i] != st.History[i] {
+			t.Fatalf("event %d changed: %s vs %s", i, loaded[i], st.History[i])
+		}
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file empty or missing: %v", err)
+	}
+}
+
+// TestNativeRecordingBodyAbort: bodies that hand ErrAborted back to
+// the retry loop themselves must not corrupt the recorded history —
+// each abandoned attempt closes its transaction before the retry
+// starts a new one.
+func TestNativeRecordingBodyAbort(t *testing.T) {
+	e, _ := Lookup("native-tinystm")
+	const procs, rounds = 2, 12
+	var tried [procs][rounds]bool // per-goroutine rows: no sharing
+	st, err := e.Run(RunConfig{
+		Procs: procs, Vars: 2, OpsPerProc: rounds, Record: true, QuiesceEvery: 3,
+	}, func(proc, round int, tx Tx) error {
+		if _, err := tx.Read(proc % 2); err != nil {
+			return err
+		}
+		if round%3 == 0 && !tried[proc][round] {
+			tried[proc][round] = true
+			return ErrAborted // voluntary abort on the first attempt
+		}
+		return tx.Write(proc%2, int64(round))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := st.History
+	if err := model.CheckWellFormed(h); err != nil {
+		t.Fatalf("malformed: %v", err)
+	}
+	res, err := safety.CheckOpacitySegmented(h, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("not opaque: %s", res.Reason)
+	}
+	txns, err := model.Transactions(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aborted int
+	for _, txn := range txns {
+		if txn.Status == model.Aborted {
+			aborted++
+		}
+	}
+	// Each process voluntarily aborts rounds 0, 3, 6, 9 once.
+	if aborted < procs*4 {
+		t.Fatalf("aborted transactions = %d, want >= %d", aborted, procs*4)
+	}
+}

@@ -1,0 +1,345 @@
+// Package monitor is the online counterpart of the offline checkers:
+// it consumes a history one event at a time — live from a recording
+// run or replayed from a trace file — and maintains both halves of the
+// paper's story simultaneously:
+//
+//   - Safety: a streaming opacity check (safety.StreamChecker), which
+//     propagates feasible committed snapshots across quiescent cuts so
+//     memory stays bounded no matter how long the run is.
+//   - Liveness: per-process progress accounting (commits, aborts,
+//     declined commits, starvation intervals) plus a classification of
+//     the observed run against the paper's liveness lattice. The
+//     classifier reads the run as an eventually-periodic history whose
+//     cycle is the tail window of recent events — exactly the lasso
+//     reading `livetm classify` applies to finite traces, kept
+//     incremental here.
+//
+// An opacity violation is terminal and surfaces from Observe as soon
+// as the failing segment is checked; progress accounting keeps its
+// figures per process so a starving or wedged process is visible while
+// the run is still going.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"livetm/internal/liveness"
+	"livetm/internal/model"
+	"livetm/internal/safety"
+)
+
+// Config sizes a monitor.
+type Config struct {
+	// SegmentTxns is the per-segment transaction budget of the
+	// streaming opacity check (default 10, max 64).
+	SegmentTxns int
+	// TailWindow is how many recent events form the lasso cycle for
+	// liveness classification (default 256).
+	TailWindow int
+	// Procs optionally fixes the process set P of the system. Processes
+	// that never produce an event still count (the paper fixes P up
+	// front); nil defaults to the processes observed.
+	Procs []model.Proc
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentTxns <= 0 {
+		c.SegmentTxns = 10
+	}
+	if c.TailWindow <= 0 {
+		c.TailWindow = 256
+	}
+	return c
+}
+
+// ProcProgress is one process's online accounting.
+type ProcProgress struct {
+	Proc model.Proc
+	// Commits, Aborts and Ops count commit events, abort events and
+	// operation invocations (reads, writes, tryCommits).
+	Commits uint64
+	Aborts  uint64
+	Ops     uint64
+	// LastCommitAt is the global event index of the last commit event,
+	// -1 before the first.
+	LastCommitAt int
+	// MaxStarvation is the longest interval, in global events, the
+	// process has been active without landing a commit: the largest
+	// gap between consecutive commits, counting the still-open gap at
+	// the end of the run.
+	MaxStarvation int
+
+	firstEvent *model.Event // first observed event, for the lasso prefix
+	activeFrom int          // global index the current commit gap started at
+}
+
+// starvation returns the process's current starvation figure at
+// global event index now.
+func (p *ProcProgress) starvation(now int) int {
+	gap := now - p.activeFrom
+	if gap > p.MaxStarvation {
+		return gap
+	}
+	return p.MaxStarvation
+}
+
+// Monitor consumes events incrementally. Not safe for concurrent use;
+// feed it from one goroutine (histories are totally ordered anyway).
+type Monitor struct {
+	cfg     Config
+	checker *safety.StreamChecker
+	events  int
+	procs   map[model.Proc]*ProcProgress
+	window  []model.Event // ring buffer of the last TailWindow events
+	wnext   int           // next ring slot
+	wfull   bool
+	safeErr error // terminal opacity/structure error from the checker
+}
+
+// New creates a monitor.
+func New(cfg Config) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	checker, err := safety.NewStreamChecker(cfg.SegmentTxns)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		cfg:     cfg,
+		checker: checker,
+		procs:   make(map[model.Proc]*ProcProgress),
+		window:  make([]model.Event, 0, cfg.TailWindow),
+	}
+	for _, p := range cfg.Procs {
+		m.progress(p)
+	}
+	return m, nil
+}
+
+func (m *Monitor) progress(p model.Proc) *ProcProgress {
+	pp := m.procs[p]
+	if pp == nil {
+		pp = &ProcProgress{Proc: p, LastCommitAt: -1}
+		m.procs[p] = pp
+	}
+	return pp
+}
+
+// Observe consumes one event. A non-nil error is terminal: the history
+// violated opacity (errors.Is safety.ErrStreamNotOpaque), starved the
+// streaming checker of quiescent cuts, or was malformed. Progress
+// accounting still absorbs the event either way.
+func (m *Monitor) Observe(e model.Event) error {
+	pp := m.progress(e.Proc)
+	if pp.firstEvent == nil {
+		ev := e
+		pp.firstEvent = &ev
+	}
+	switch e.Kind {
+	case model.RespCommit:
+		pp.Commits++
+		gap := m.events - pp.activeFrom
+		if gap > pp.MaxStarvation {
+			pp.MaxStarvation = gap
+		}
+		pp.LastCommitAt = m.events
+		pp.activeFrom = m.events
+	case model.RespAbort:
+		pp.Aborts++
+	default:
+		if e.Kind.IsInvocation() {
+			pp.Ops++
+		}
+	}
+	if len(m.window) < m.cfg.TailWindow {
+		m.window = append(m.window, e)
+	} else {
+		m.window[m.wnext] = e
+		m.wfull = true
+	}
+	m.wnext = (m.wnext + 1) % m.cfg.TailWindow
+	m.events++
+
+	if m.safeErr != nil {
+		return m.safeErr
+	}
+	if err := m.checker.Feed(e); err != nil {
+		m.safeErr = err
+		return err
+	}
+	return nil
+}
+
+// ObserveHistory feeds a whole history. Unlike a bare Observe loop it
+// does not stop at the first terminal safety error: progress
+// accounting absorbs every event (the liveness half outlives an
+// undecided or violated safety half), and the first terminal error is
+// returned at the end.
+func (m *Monitor) ObserveHistory(h model.History) error {
+	var first error
+	for _, e := range h {
+		if err := m.Observe(e); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Events returns the number of events observed so far.
+func (m *Monitor) Events() int { return m.events }
+
+// tail returns the window contents in arrival order.
+func (m *Monitor) tail() model.History {
+	if !m.wfull {
+		return append(model.History(nil), m.window...)
+	}
+	out := make(model.History, 0, len(m.window))
+	out = append(out, m.window[m.wnext:]...)
+	out = append(out, m.window[:m.wnext]...)
+	return out
+}
+
+// Verdict is one liveness property evaluated on the observed run.
+type Verdict struct {
+	Property string
+	Holds    bool
+}
+
+// ProcReport is one process's final accounting and fault class.
+type ProcReport struct {
+	ProcProgress
+	// Class is the paper's classification of the process on the lasso
+	// reading of the run: "progressing", "starving", "parasitic" or
+	// "crashed".
+	Class string
+}
+
+// Report is the monitor's summary of the run so far.
+type Report struct {
+	// Events is the number of events observed.
+	Events int
+	// Opacity is the streaming opacity verdict; Checked is false when
+	// the streaming checker was starved of quiescent cuts or the
+	// history was malformed, with the reason in Opacity.Reason.
+	Checked bool
+	Opacity safety.SegmentedResult
+	// Procs holds per-process accounting, sorted by process id.
+	Procs []ProcReport
+	// Verdicts evaluates the liveness lattice on the lasso reading of
+	// the run: local, 2-, global and solo progress.
+	Verdicts []Verdict
+}
+
+// Format renders the report as an aligned text block.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d segments=%d opaque=%v", r.Events, r.Opacity.Segments, r.Opacity.Holds && r.Checked)
+	if !r.Checked {
+		fmt.Fprintf(&b, " (not decided: %s)", r.Opacity.Reason)
+	} else if !r.Opacity.Holds {
+		fmt.Fprintf(&b, "\nopacity violation: %s", r.Opacity.Reason)
+	}
+	b.WriteString("\n")
+	for _, p := range r.Procs {
+		fmt.Fprintf(&b, "  p%-3d %-11s commits=%-6d aborts=%-6d ops=%-7d max-starvation=%d\n",
+			p.Proc, p.Class, p.Commits, p.Aborts, p.Ops, p.MaxStarvation)
+	}
+	for _, v := range r.Verdicts {
+		fmt.Fprintf(&b, "  %-15s %v\n", v.Property, v.Holds)
+	}
+	return b.String()
+}
+
+// Report finalizes the streaming opacity check and classifies the run
+// against the liveness lattice. It is terminal for the safety half:
+// the monitor must not be fed afterwards.
+func (m *Monitor) Report() Report {
+	r := Report{Events: m.events}
+
+	switch {
+	case m.safeErr != nil && errors.Is(m.safeErr, safety.ErrStreamNotOpaque):
+		res, _ := m.checker.Finish()
+		r.Checked, r.Opacity = true, res
+	case m.safeErr != nil:
+		r.Opacity.Reason = m.safeErr.Error()
+	default:
+		res, err := m.checker.Finish()
+		if err != nil {
+			r.Opacity.Reason = err.Error()
+		} else {
+			r.Checked, r.Opacity = true, res
+		}
+	}
+
+	lasso := m.lasso()
+	for _, p := range sortedProcs(m.procs) {
+		pp := *m.procs[p]
+		pp.MaxStarvation = pp.starvation(m.events)
+		r.Procs = append(r.Procs, ProcReport{ProcProgress: pp, Class: m.class(lasso, p)})
+	}
+	if lasso != nil {
+		for _, prop := range []liveness.Property{
+			liveness.LocalProgress, liveness.KProgress(2),
+			liveness.GlobalProgress, liveness.SoloProgress,
+		} {
+			r.Verdicts = append(r.Verdicts, Verdict{Property: prop.Name, Holds: prop.Contains(lasso)})
+		}
+	}
+	return r
+}
+
+// lasso is the classification reading of the run: the tail window
+// repeated forever, with each process's first event standing in for
+// its pre-window activity (the classifiers only test event existence
+// on the prefix, so one representative event per process suffices).
+// Returns nil while no events have been observed.
+func (m *Monitor) lasso() *liveness.Lasso {
+	cycle := m.tail()
+	if len(cycle) == 0 {
+		return nil
+	}
+	var prefix model.History
+	for _, p := range sortedProcs(m.procs) {
+		pp := m.procs[p]
+		if pp.firstEvent != nil && m.events > len(cycle) {
+			prefix = append(prefix, *pp.firstEvent)
+		}
+	}
+	l, err := liveness.NewLassoWithProcs(prefix, cycle, sortedProcs(m.procs))
+	if err != nil {
+		return nil
+	}
+	return l
+}
+
+func (m *Monitor) class(l *liveness.Lasso, p model.Proc) string {
+	if l == nil {
+		return "silent"
+	}
+	switch {
+	case l.Crashes(p):
+		return "crashed"
+	case l.Parasitic(p):
+		return "parasitic"
+	case l.Starving(p):
+		return "starving"
+	case l.MakesProgress(p):
+		return "progressing"
+	default:
+		return "silent"
+	}
+}
+
+func sortedProcs(m map[model.Proc]*ProcProgress) []model.Proc {
+	out := make([]model.Proc, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -75,9 +75,16 @@ func (t *DSTM) Stats() Stats { return t.snapshot() }
 
 // Atomically implements TM.
 func (t *DSTM) Atomically(fn func(Txn) error) error {
-	return runAtomically(&t.counters, func() attempt {
-		return &dstmTxn{tm: t, desc: &dstmDesc{}}
-	}, fn)
+	return runAtomically(&t.counters, t.begin, nil, fn)
+}
+
+// AtomicallyObserved implements ObservableTM.
+func (t *DSTM) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
+	return runAtomically(&t.counters, t.begin, obs, fn)
+}
+
+func (t *DSTM) begin() attempt {
+	return &dstmTxn{tm: t, desc: &dstmDesc{}}
 }
 
 type dstmRead struct {

@@ -38,16 +38,32 @@ type mutexTxn struct {
 
 // Atomically implements TM.
 func (m *Mutex) Atomically(fn func(Txn) error) error {
+	return m.AtomicallyObserved(nil, fn)
+}
+
+// AtomicallyObserved implements ObservableTM. The whole transaction —
+// including the observer's commit callbacks — runs under the mutex, so
+// observed events of different transactions never interleave.
+func (m *Mutex) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	tx := &mutexTxn{m: m}
-	if err := fn(tx); err != nil {
+	if err := fn(observe(obs, tx)); err != nil {
+		if obs != nil {
+			obs.Abandon()
+		}
 		return err
+	}
+	if obs != nil {
+		obs.TryCommitInv()
 	}
 	for i, v := range tx.writes {
 		m.vals[i] = v
 	}
 	m.commits.Add(1)
+	if obs != nil {
+		obs.TryCommitReturn(true)
+	}
 	return nil
 }
 

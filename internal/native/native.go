@@ -109,13 +109,23 @@ func (c *counters) snapshot() Stats {
 }
 
 // runAtomically is the retry/backoff loop shared by every algorithm:
-// begin an attempt, run the body, commit or back off and retry.
-func runAtomically(c *counters, begin func() attempt, fn func(Txn) error) error {
+// begin an attempt, run the body, commit or back off and retry. With a
+// non-nil observer, every operation return and attempt outcome is
+// reported at its linearization point — these are the instrumentation
+// hooks behind ObservableTM.
+func runAtomically(c *counters, begin func() attempt, obs Observer, fn func(Txn) error) error {
 	for round := 0; ; round++ {
 		tx := begin()
-		err := fn(tx)
+		err := fn(observe(obs, tx))
 		if err == nil {
-			if tx.commit() {
+			if obs != nil {
+				obs.TryCommitInv()
+			}
+			committed := tx.commit()
+			if obs != nil {
+				obs.TryCommitReturn(committed)
+			}
+			if committed {
 				c.commits.Add(1)
 				return nil
 			}
@@ -126,9 +136,20 @@ func runAtomically(c *counters, begin func() attempt, fn func(Txn) error) error 
 			tx.abandon()
 		} else if !errors.Is(err, ErrAborted) {
 			tx.abandon()
+			if obs != nil {
+				obs.Abandon()
+			}
 			return err
 		} else {
 			tx.abandon()
+			// A body may return ErrAborted of its own accord, with no
+			// operation having aborted; the observer must still see
+			// the attempt end or the next attempt's events would merge
+			// into the same recorded transaction. Abandon is a no-op
+			// when an operation-level abort already closed it.
+			if obs != nil {
+				obs.Abandon()
+			}
 		}
 		c.aborts.Add(1)
 		backoff(round)

@@ -39,9 +39,16 @@ func (t *NOrec) Stats() Stats { return t.snapshot() }
 
 // Atomically implements TM.
 func (t *NOrec) Atomically(fn func(Txn) error) error {
-	return runAtomically(&t.counters, func() attempt {
-		return &norecTxn{tm: t, snapshot: t.waitStable()}
-	}, fn)
+	return runAtomically(&t.counters, t.begin, nil, fn)
+}
+
+// AtomicallyObserved implements ObservableTM.
+func (t *NOrec) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
+	return runAtomically(&t.counters, t.begin, obs, fn)
+}
+
+func (t *NOrec) begin() attempt {
+	return &norecTxn{tm: t, snapshot: t.waitStable()}
 }
 
 // waitStable spins until the sequence lock is even and returns it.

@@ -1,0 +1,85 @@
+package native
+
+import "fmt"
+
+// Observer receives the linearization-point callbacks of one process's
+// transactions. Invocation callbacks fire immediately before the
+// operation runs and return callbacks immediately after it returns, so
+// an observer that timestamps both sides brackets the operation's real
+// duration: any precedence visible in the resulting stamps is genuine
+// real-time precedence, which keeps the safety checkers sound on the
+// recorded history.
+//
+// All calls for one Observer are made on a single goroutine (the
+// process's), with no additional synchronization. Implementations must
+// be cheap — they sit on the transactional hot path.
+type Observer interface {
+	// ReadInv fires before variable i is read.
+	ReadInv(i int)
+	// ReadReturn fires after the read returns v, or aborts.
+	ReadReturn(i int, v int64, aborted bool)
+	// WriteInv fires before v is buffered into variable i.
+	WriteInv(i int, v int64)
+	// WriteReturn fires after the write returns, or aborts.
+	WriteReturn(i int, v int64, aborted bool)
+	// TryCommitInv fires before the attempt tries to commit.
+	TryCommitInv()
+	// TryCommitReturn fires with the commit outcome.
+	TryCommitReturn(committed bool)
+	// Abandon fires when an attempt ends without a tryCommit because
+	// the body returned a non-abort error (including the engine's
+	// declined-to-commit sentinel). The native TM discards the
+	// attempt's buffers and releases its resources, which a history
+	// recorder reports as an abort event.
+	Abandon()
+}
+
+// ObservableTM is implemented by the TMs of this package: Atomically
+// with linearization-point callbacks. A nil observer degrades to plain
+// Atomically.
+type ObservableTM interface {
+	TM
+	// AtomicallyObserved is Atomically, reporting every operation and
+	// every attempt outcome to obs.
+	AtomicallyObserved(obs Observer, fn func(Txn) error) error
+}
+
+// AtomicallyObserved runs fn on tm like TM.Atomically while reporting
+// linearization-point events to obs. It errors when tm does not
+// support observation.
+func AtomicallyObserved(tm TM, obs Observer, fn func(Txn) error) error {
+	otm, ok := tm.(ObservableTM)
+	if !ok {
+		return fmt.Errorf("native: %s does not support observation", tm.Name())
+	}
+	return otm.AtomicallyObserved(obs, fn)
+}
+
+// observedTxn reports every operation of the wrapped handle to the
+// observer, bracketing the inner call with the invocation/return pair.
+type observedTxn struct {
+	tx  Txn
+	obs Observer
+}
+
+func (o observedTxn) Read(i int) (int64, error) {
+	o.obs.ReadInv(i)
+	v, err := o.tx.Read(i)
+	o.obs.ReadReturn(i, v, err != nil)
+	return v, err
+}
+
+func (o observedTxn) Write(i int, v int64) error {
+	o.obs.WriteInv(i, v)
+	err := o.tx.Write(i, v)
+	o.obs.WriteReturn(i, v, err != nil)
+	return err
+}
+
+// observe wraps tx for obs; a nil observer passes tx through.
+func observe(obs Observer, tx Txn) Txn {
+	if obs == nil {
+		return tx
+	}
+	return observedTxn{tx: tx, obs: obs}
+}

@@ -32,9 +32,16 @@ func (t *TinySTM) Stats() Stats { return t.snapshot() }
 
 // Atomically implements TM.
 func (t *TinySTM) Atomically(fn func(Txn) error) error {
-	return runAtomically(&t.counters, func() attempt {
-		return &tinyTxn{tm: t, rv: t.clock.Sample()}
-	}, fn)
+	return runAtomically(&t.counters, t.begin, nil, fn)
+}
+
+// AtomicallyObserved implements ObservableTM.
+func (t *TinySTM) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
+	return runAtomically(&t.counters, t.begin, obs, fn)
+}
+
+func (t *TinySTM) begin() attempt {
+	return &tinyTxn{tm: t, rv: t.clock.Sample()}
 }
 
 type tinyRead struct {

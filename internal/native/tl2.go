@@ -30,9 +30,16 @@ func (t *TL2) Stats() Stats { return t.snapshot() }
 
 // Atomically implements TM.
 func (t *TL2) Atomically(fn func(Txn) error) error {
-	return runAtomically(&t.counters, func() attempt {
-		return &tl2Txn{tm: t, rv: t.clock.Sample(), writes: make(map[int]int64)}
-	}, fn)
+	return runAtomically(&t.counters, t.begin, nil, fn)
+}
+
+// AtomicallyObserved implements ObservableTM.
+func (t *TL2) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
+	return runAtomically(&t.counters, t.begin, obs, fn)
+}
+
+func (t *TL2) begin() attempt {
+	return &tl2Txn{tm: t, rv: t.clock.Sample(), writes: make(map[int]int64)}
 }
 
 type tl2Txn struct {

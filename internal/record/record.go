@@ -1,0 +1,210 @@
+// Package record is the low-overhead history recorder for the native
+// (real-concurrency) substrate: it turns the linearization-point
+// callbacks of internal/native's Observer hooks into a well-formed
+// model.History that the safety and liveness checkers can consume.
+//
+// The design keeps the hot path process-local. Each process appends
+// events to its own pre-allocated buffer — no lock, no cross-process
+// cache traffic beyond one shared atomic sequence counter that stamps
+// every event with a global order. Invocations are stamped immediately
+// before the operation runs and responses immediately after it
+// returns, so a stamp-order precedence between two transactions
+// implies genuine real-time precedence: the drained history's
+// real-time partial order is a subrelation of the true one, which
+// keeps the opacity checker sound (it may only see fewer ordering
+// constraints, never invented ones).
+//
+// Draining merges the per-process buffers by sequence number into one
+// model.History. Buffers grow beyond their initial capacity without
+// cross-process synchronization; a hard per-process cap bounds worst-
+// case memory, after which the process's log truncates cleanly at an
+// event boundary (the history stays well-formed, but verdicts on a
+// truncated history are advisory — see Recorder.Truncated).
+package record
+
+import (
+	"sync/atomic"
+
+	"livetm/internal/model"
+)
+
+// MaxEventsPerProc is the hard cap on one process's buffer. A process
+// that exceeds it stops recording (Truncated reports it) rather than
+// growing without bound.
+const MaxEventsPerProc = 1 << 22
+
+// stamped is one event with its global order.
+type stamped struct {
+	seq uint64
+	ev  model.Event
+}
+
+// Recorder owns the shared sequence counter and the per-process logs
+// of one run.
+type Recorder struct {
+	seq  atomic.Uint64
+	logs []*ProcLog
+}
+
+// New creates a recorder for procs processes (model.Proc identifiers 1
+// through procs), each with a buffer pre-sized to capacityHint events
+// (a non-positive hint picks a small default).
+func New(procs, capacityHint int) *Recorder {
+	if capacityHint <= 0 {
+		capacityHint = 256
+	}
+	if capacityHint > MaxEventsPerProc {
+		capacityHint = MaxEventsPerProc
+	}
+	r := &Recorder{logs: make([]*ProcLog, procs)}
+	for i := range r.logs {
+		r.logs[i] = &ProcLog{
+			rec:  r,
+			proc: model.Proc(i + 1),
+			buf:  make([]stamped, 0, capacityHint),
+			max:  MaxEventsPerProc,
+		}
+	}
+	return r
+}
+
+// Log returns the log of process p (1-based). Each log must only be
+// used from a single goroutine.
+func (r *Recorder) Log(p model.Proc) *ProcLog {
+	return r.logs[int(p)-1]
+}
+
+// Truncated reports whether any process hit the buffer cap and
+// dropped events. A truncated history is still well-formed — each log
+// cuts at an event boundary — but it is a prefix of the run per
+// process, not of the whole run, so checker verdicts on it are
+// advisory.
+func (r *Recorder) Truncated() bool {
+	for _, l := range r.logs {
+		if l.full {
+			return true
+		}
+	}
+	return false
+}
+
+// Events returns the total number of recorded events.
+func (r *Recorder) Events() int {
+	n := 0
+	for _, l := range r.logs {
+		n += len(l.buf)
+	}
+	return n
+}
+
+// History drains the recorder: the per-process buffers merged by
+// global sequence number into one history. Call it only after the run
+// quiesced (no goroutine is still appending).
+func (r *Recorder) History() model.History {
+	heads := make([]int, len(r.logs))
+	total := r.Events()
+	out := make(model.History, 0, total)
+	for len(out) < total {
+		best := -1
+		var bestSeq uint64
+		for i, l := range r.logs {
+			if heads[i] >= len(l.buf) {
+				continue
+			}
+			if s := l.buf[heads[i]].seq; best < 0 || s < bestSeq {
+				best, bestSeq = i, s
+			}
+		}
+		out = append(out, r.logs[best].buf[heads[best]].ev)
+		heads[best]++
+	}
+	return out
+}
+
+// ProcLog is one process's event buffer. It implements
+// native.Observer: the engine hands it to the native retry loop, which
+// calls it at every linearization point on the process's goroutine.
+type ProcLog struct {
+	rec  *Recorder
+	proc model.Proc
+	buf  []stamped
+	max  int  // per-process cap (MaxEventsPerProc; lowered in tests)
+	open bool // a transaction of this process is open in the log
+	full bool // hit the cap; recording stopped
+}
+
+// append stamps and stores one event. Once the cap is hit the log
+// stops recording entirely: dropping a tail keeps the per-process
+// history a clean prefix, while dropping interior events would break
+// well-formedness.
+func (l *ProcLog) append(e model.Event) {
+	if l.full {
+		return
+	}
+	if len(l.buf) >= l.max {
+		l.full = true
+		return
+	}
+	l.buf = append(l.buf, stamped{seq: l.rec.seq.Add(1), ev: e})
+}
+
+// ReadInv implements native.Observer.
+func (l *ProcLog) ReadInv(i int) {
+	l.open = true
+	l.append(model.Read(l.proc, model.TVar(i)))
+}
+
+// ReadReturn implements native.Observer.
+func (l *ProcLog) ReadReturn(i int, v int64, aborted bool) {
+	if aborted {
+		l.open = false
+		l.append(model.Abort(l.proc))
+		return
+	}
+	l.append(model.ValueResp(l.proc, model.Value(v)))
+}
+
+// WriteInv implements native.Observer.
+func (l *ProcLog) WriteInv(i int, v int64) {
+	l.open = true
+	l.append(model.Write(l.proc, model.TVar(i), model.Value(v)))
+}
+
+// WriteReturn implements native.Observer.
+func (l *ProcLog) WriteReturn(i int, v int64, aborted bool) {
+	if aborted {
+		l.open = false
+		l.append(model.Abort(l.proc))
+		return
+	}
+	l.append(model.OK(l.proc))
+}
+
+// TryCommitInv implements native.Observer.
+func (l *ProcLog) TryCommitInv() {
+	l.open = true
+	l.append(model.TryCommit(l.proc))
+}
+
+// TryCommitReturn implements native.Observer.
+func (l *ProcLog) TryCommitReturn(committed bool) {
+	l.open = false
+	if committed {
+		l.append(model.Commit(l.proc))
+	} else {
+		l.append(model.Abort(l.proc))
+	}
+}
+
+// Abandon implements native.Observer: an attempt ended without a
+// tryCommit (body error or declined commit). The native TM discards
+// the attempt, recorded as a completion abort so the next attempt
+// starts a fresh transaction in the history. Without an open
+// transaction there is nothing to complete.
+func (l *ProcLog) Abandon() {
+	if !l.open {
+		return
+	}
+	l.open = false
+	l.append(model.Abort(l.proc))
+}

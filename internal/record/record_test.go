@@ -1,0 +1,124 @@
+package record
+
+import (
+	"sync"
+	"testing"
+
+	"livetm/internal/model"
+	"livetm/internal/native"
+)
+
+var _ native.Observer = (*ProcLog)(nil)
+
+// script replays one committed increment transaction through a log.
+func script(l *ProcLog, x int, v int64) {
+	l.ReadInv(x)
+	l.ReadReturn(x, v, false)
+	l.WriteInv(x, v+1)
+	l.WriteReturn(x, v+1, false)
+	l.TryCommitInv()
+	l.TryCommitReturn(true)
+}
+
+func TestSingleProcHistory(t *testing.T) {
+	r := New(1, 0)
+	l := r.Log(1)
+	script(l, 0, 0)
+	l.ReadInv(1)
+	l.ReadReturn(1, 0, true) // aborted read
+	l.Abandon()              // no open transaction: must be a no-op
+	h := r.History()
+	if err := model.CheckWellFormed(h); err != nil {
+		t.Fatalf("malformed: %v\n%s", err, h)
+	}
+	want := model.History{
+		model.Read(1, 0), model.ValueResp(1, 0),
+		model.Write(1, 0, 1), model.OK(1),
+		model.TryCommit(1), model.Commit(1),
+		model.Read(1, 1), model.Abort(1),
+	}
+	if h.String() != want.String() {
+		t.Fatalf("history = %s, want %s", h, want)
+	}
+	if r.Truncated() {
+		t.Fatal("nothing was dropped")
+	}
+}
+
+func TestAbandonCompletesOpenTransaction(t *testing.T) {
+	r := New(1, 0)
+	l := r.Log(1)
+	l.WriteInv(0, 5)
+	l.WriteReturn(0, 5, false)
+	l.Abandon()
+	h := r.History()
+	if err := model.CheckWellFormed(h); err != nil {
+		t.Fatalf("malformed: %v", err)
+	}
+	txns, err := model.Transactions(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 1 || txns[0].Status != model.Aborted {
+		t.Fatalf("transactions = %v", txns)
+	}
+}
+
+// TestMergePreservesGlobalOrder: events logged from concurrent
+// goroutines drain into one history ordered by the shared sequence
+// counter, with each process's subsequence intact. Run with -race.
+func TestMergePreservesGlobalOrder(t *testing.T) {
+	const procs, rounds = 4, 200
+	r := New(procs, 16)
+	var wg sync.WaitGroup
+	for p := 1; p <= procs; p++ {
+		l := r.Log(model.Proc(p))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				script(l, 0, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	h := r.History()
+	if want := procs * rounds * 6; len(h) != want {
+		t.Fatalf("events = %d, want %d", len(h), want)
+	}
+	if err := model.CheckWellFormed(h); err != nil {
+		t.Fatalf("malformed: %v", err)
+	}
+	for p := 1; p <= procs; p++ {
+		proj := h.Projection(model.Proc(p))
+		if len(proj) != rounds*6 {
+			t.Fatalf("proc %d: %d events, want %d", p, len(proj), rounds*6)
+		}
+		// Per-process order must be exactly the logged order.
+		for i, s := range r.Log(model.Proc(p)).buf {
+			if proj[i] != s.ev {
+				t.Fatalf("proc %d event %d reordered: %s vs %s", p, i, proj[i], s.ev)
+			}
+		}
+	}
+}
+
+// TestTruncation: hitting the cap stops the log at an event boundary
+// and the drained history stays well-formed.
+func TestTruncation(t *testing.T) {
+	r := New(1, 0)
+	l := r.Log(1)
+	l.max = 7 // truncate mid-transaction, right after an invocation
+	script(l, 0, 0)
+	script(l, 0, 1)
+	if !r.Truncated() {
+		t.Fatal("cap was hit but Truncated is false")
+	}
+	h := r.History()
+	if len(h) != 7 {
+		t.Fatalf("events = %d, want 7", len(h))
+	}
+	if err := model.CheckWellFormed(h); err != nil {
+		t.Fatalf("truncated history malformed: %v\n%s", err, h)
+	}
+}

@@ -1,0 +1,173 @@
+package safety
+
+import (
+	"fmt"
+
+	"livetm/internal/model"
+)
+
+// StreamChecker decides opacity of a history fed one event at a time,
+// in bounded memory: the incremental counterpart of
+// CheckOpacitySegmented, built on the same quiescent-cut argument and
+// the same feasible-snapshot propagation.
+//
+// Events buffer only while some transaction is open. At every
+// quiescent cut — a point where no transaction is open — the buffered
+// segment is checked against the feasible committed snapshots so far
+// and discarded, so memory and each exponential search are bounded by
+// one cut-free stretch. A stretch that accumulates more than
+// maxTxnsPerSegment completed transactions without quiescing is
+// refused with ErrNoQuiescentCut instead of buffering without bound,
+// mirroring the segmented checker's ErrTooManyTransactions regime.
+//
+// Checking at every cut or only at the forced flushes of
+// CheckOpacitySegmented propagates the same snapshot sets — the states
+// feasible at a cut are a function of the cut, not of the flush
+// schedule — so the two checkers agree wherever both decide; the
+// streaming one simply reports violations at the earliest cut.
+//
+// A violation is terminal: Feed reports it once, wrapped around
+// ErrStreamNotOpaque, and Finish keeps returning the failing verdict.
+type StreamChecker struct {
+	max      int
+	buf      model.History
+	states   []model.Snapshot
+	segments int
+
+	openTxn   map[model.Proc]bool
+	openCount int
+	txnsInBuf int // completed transactions in the buffer
+
+	done   bool // violation or Finish reached
+	holds  bool
+	reason string
+}
+
+// ErrStreamNotOpaque wraps the verdict a StreamChecker returns from
+// Feed at the moment a segment admits no legal serialization.
+var ErrStreamNotOpaque = fmt.Errorf("safety: streamed history is not opaque")
+
+// NewStreamChecker creates a checker with the given per-segment
+// transaction budget (1 to 64, like CheckOpacitySegmented).
+func NewStreamChecker(maxTxnsPerSegment int) (*StreamChecker, error) {
+	if maxTxnsPerSegment <= 0 {
+		return nil, fmt.Errorf("safety: segment budget %d must be positive", maxTxnsPerSegment)
+	}
+	if maxTxnsPerSegment > 64 {
+		return nil, fmt.Errorf("%w: segment budget %d exceeds the 64-transaction search cap", ErrTooManyTransactions, maxTxnsPerSegment)
+	}
+	return &StreamChecker{
+		max:     maxTxnsPerSegment,
+		states:  []model.Snapshot{make(model.Snapshot)},
+		openTxn: make(map[model.Proc]bool),
+	}, nil
+}
+
+// Segments returns the number of segments checked so far.
+func (c *StreamChecker) Segments() int { return c.segments }
+
+// Buffered returns the number of events currently buffered.
+func (c *StreamChecker) Buffered() int { return len(c.buf) }
+
+// Feed consumes one event. A non-nil error is terminal: either the
+// stream revealed an opacity violation (errors.Is ErrStreamNotOpaque),
+// exceeded the segment budget with no quiescent cut (errors.Is
+// ErrNoQuiescentCut), or was malformed.
+func (c *StreamChecker) Feed(e model.Event) error {
+	if c.done {
+		if !c.holds {
+			return fmt.Errorf("%w: %s", ErrStreamNotOpaque, c.reason)
+		}
+		return fmt.Errorf("safety: Feed after Finish")
+	}
+	c.buf = append(c.buf, e)
+	p := e.Proc
+	switch {
+	case e.Kind.IsInvocation():
+		if !c.openTxn[p] {
+			c.openTxn[p] = true
+			c.openCount++
+		}
+	case e.Kind == model.RespCommit || e.Kind == model.RespAbort:
+		if c.openTxn[p] {
+			c.openTxn[p] = false
+			c.openCount--
+		}
+		c.txnsInBuf++
+	}
+	// The budget check comes first: a cut-free stretch of max+1
+	// completed transactions is refused even if its last event happens
+	// to quiesce the buffer, matching CheckOpacitySegmented's "at most
+	// max per segment" and keeping every feasibleFinals call within
+	// the 64-transaction search cap.
+	if c.txnsInBuf > c.max {
+		return fmt.Errorf("%w: %d concurrent transactions without a quiescent point", ErrNoQuiescentCut, c.txnsInBuf)
+	}
+	if c.openCount == 0 && c.txnsInBuf > 0 {
+		return c.flush()
+	}
+	return nil
+}
+
+// flush checks the buffered segment — the history since the previous
+// quiescent cut — against the feasible snapshots and discards it.
+func (c *StreamChecker) flush() error {
+	next, violation, err := c.checkSegment(c.buf)
+	if err != nil {
+		return err
+	}
+	if violation != "" {
+		c.done, c.holds, c.reason = true, false, violation
+		return fmt.Errorf("%w: %s", ErrStreamNotOpaque, violation)
+	}
+	c.states = next
+	c.buf = c.buf[:0]
+	c.txnsInBuf = 0
+	return nil
+}
+
+// checkSegment propagates the feasible committed snapshots through one
+// segment. A non-empty violation string means no legal serialization
+// exists from any feasible predecessor state.
+func (c *StreamChecker) checkSegment(seg model.History) ([]model.Snapshot, string, error) {
+	txns, err := model.Transactions(seg)
+	if err != nil {
+		return nil, "", fmt.Errorf("streaming opacity: %w", err)
+	}
+	if len(txns) == 0 {
+		return c.states, "", nil
+	}
+	c.segments++
+	next, err := feasibleFinals(txns, c.states)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(next) == 0 {
+		return nil, fmt.Sprintf("segment %d (transactions %s..%s) admits no legal serialization from any feasible predecessor state",
+			c.segments, txns[0].ID(), txns[len(txns)-1].ID()), nil
+	}
+	return next, "", nil
+}
+
+// Finish checks whatever remains buffered — including live and
+// commit-pending transactions, which only the final segment may
+// contain — and returns the verdict for the whole streamed history.
+// Finish is terminal; the checker cannot be fed afterwards.
+func (c *StreamChecker) Finish() (SegmentedResult, error) {
+	if c.done {
+		return SegmentedResult{Holds: c.holds, Segments: c.segments, Reason: c.reason}, nil
+	}
+	c.done = true
+	next, violation, err := c.checkSegment(c.buf)
+	if err != nil {
+		return SegmentedResult{}, err
+	}
+	c.buf = nil
+	if violation != "" {
+		c.holds, c.reason = false, violation
+	} else {
+		c.holds = true
+		c.states = next
+	}
+	return SegmentedResult{Holds: c.holds, Segments: c.segments, Reason: c.reason}, nil
+}

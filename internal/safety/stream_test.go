@@ -1,0 +1,234 @@
+package safety
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"livetm/internal/model"
+)
+
+// feedAll streams a whole history through a fresh checker.
+func feedAll(t *testing.T, h model.History, budget int) (SegmentedResult, error) {
+	t.Helper()
+	c, err := NewStreamChecker(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range h {
+		if err := c.Feed(e); err != nil {
+			return SegmentedResult{}, err
+		}
+	}
+	return c.Finish()
+}
+
+func TestStreamAgreesOnFigures(t *testing.T) {
+	tests := []struct {
+		name string
+		h    model.History
+		want bool
+	}{
+		{"fig1", fig1(), true},
+		{"fig3", fig3(), false},
+		{"fig4", fig4(), false},
+		{"fig8", figAlg1Termination(0), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := feedAll(t, tt.h, 8)
+			if err != nil && !errors.Is(err, ErrStreamNotOpaque) {
+				t.Fatal(err)
+			}
+			if err == nil && res.Holds != tt.want {
+				t.Errorf("stream = %v (%s), want %v", res.Holds, res.Reason, tt.want)
+			}
+			if err != nil && tt.want {
+				t.Errorf("stream rejected an opaque history: %v", err)
+			}
+		})
+	}
+}
+
+// Property: on every small random history the monolithic checker can
+// decide, the streaming checker either agrees or refuses for lack of
+// quiescent cuts — it never returns a wrong verdict. (It may detect a
+// violation in an early segment of a history the greedy segmenter
+// refuses to split, so the comparison runs against CheckOpacity, not
+// CheckOpacitySegmented.)
+func TestStreamAgreesWithMonolithic(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := genHistory(raw)
+		mono, err := CheckOpacity(h)
+		if err != nil {
+			return true
+		}
+		c, err := NewStreamChecker(4)
+		if err != nil {
+			return false
+		}
+		var streamErr error
+		for _, e := range h {
+			if streamErr = c.Feed(e); streamErr != nil {
+				break
+			}
+		}
+		var res SegmentedResult
+		if streamErr == nil {
+			res, streamErr = c.Finish()
+		}
+		switch {
+		case errors.Is(streamErr, ErrStreamNotOpaque):
+			return !mono.Holds
+		case errors.Is(streamErr, ErrNoQuiescentCut):
+			return true // refused, not decided
+		case streamErr != nil:
+			return false
+		default:
+			return res.Holds == mono.Holds
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamLongHistoryBoundedMemory: 300 sequential transactions
+// stream through without the buffer ever holding more than one
+// segment's worth of events.
+func TestStreamLongHistoryBoundedMemory(t *testing.T) {
+	c, err := NewStreamChecker(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := model.NewBuilder()
+	for i := 0; i < 300; i++ {
+		p := model.Proc(i%3 + 1)
+		b.Read(p, 0, model.Value(i)).Write(p, 0, model.Value(i+1)).Commit(p)
+	}
+	maxBuffered := 0
+	for _, e := range b.History() {
+		if err := c.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+		if c.Buffered() > maxBuffered {
+			maxBuffered = c.Buffered()
+		}
+	}
+	res, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("sequential counter chain must be opaque: %s", res.Reason)
+	}
+	if res.Segments < 300/9 {
+		t.Errorf("segments = %d, want at least %d", res.Segments, 300/9)
+	}
+	// 9 transactions × 6 events is the most one flush can leave behind.
+	if maxBuffered > 9*6 {
+		t.Errorf("buffer grew to %d events; memory is not bounded by the segment budget", maxBuffered)
+	}
+}
+
+// TestStreamViolationIsTerminal: the violation surfaces from Feed as
+// soon as the failing segment flushes, and the checker stays failed.
+func TestStreamViolationIsTerminal(t *testing.T) {
+	c, err := NewStreamChecker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := model.NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.Read(1, 0, model.Value(i)).Write(1, 0, model.Value(i+1)).Commit(1)
+	}
+	b.Read(2, 0, 99).Commit(2) // unexplained value
+	for i := 0; i < 6; i++ {
+		b.Read(1, 0, model.Value(i)).Write(1, 0, model.Value(i+1)).Commit(1)
+	}
+	h := b.History()
+	var fed, failAt int
+	var feedErr error
+	for i, e := range h {
+		fed = i
+		if feedErr = c.Feed(e); feedErr != nil {
+			failAt = i
+			break
+		}
+	}
+	if !errors.Is(feedErr, ErrStreamNotOpaque) {
+		t.Fatalf("err = %v after %d events, want ErrStreamNotOpaque", feedErr, fed)
+	}
+	if failAt == len(h)-1 {
+		t.Error("violation only surfaced at the end of the stream")
+	}
+	if err := c.Feed(h[len(h)-1]); !errors.Is(err, ErrStreamNotOpaque) {
+		t.Errorf("Feed after violation = %v, want ErrStreamNotOpaque", err)
+	}
+	res, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds || res.Reason == "" {
+		t.Errorf("Finish after violation = %+v", res)
+	}
+}
+
+// TestStreamFinalSegmentLive: live and commit-pending transactions are
+// legal only in the final segment, where Finish handles them.
+func TestStreamFinalSegmentLive(t *testing.T) {
+	b := model.NewBuilder()
+	b.Read(1, 0, 0).Write(1, 0, 1).Commit(1)
+	b.Raw(model.Read(2, 0), model.ValueResp(2, 1))               // live at the end
+	b.Raw(model.Write(3, 0, 5), model.OK(3), model.TryCommit(3)) // commit-pending
+	res, err := feedAll(t, b.History(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("history with trailing live transactions must hold: %s", res.Reason)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if _, err := NewStreamChecker(0); err == nil {
+		t.Error("budget 0 must be rejected")
+	}
+	if _, err := NewStreamChecker(65); !errors.Is(err, ErrTooManyTransactions) {
+		t.Errorf("budget 65: err = %v, want ErrTooManyTransactions", err)
+	}
+	c, err := NewStreamChecker(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Finish()
+	if err != nil || !res.Holds {
+		t.Errorf("empty stream must hold: %+v, %v", res, err)
+	}
+	if err := c.Feed(model.Commit(1)); err == nil {
+		t.Error("Feed after Finish must error")
+	}
+}
+
+// TestStreamNoCut: more concurrent transactions than the budget with
+// no quiescent point is refused, like the segmented checker.
+func TestStreamNoCut(t *testing.T) {
+	var h model.History
+	for p := model.Proc(1); p <= 5; p++ {
+		h = append(h, model.Read(p, 0), model.ValueResp(p, 0))
+	}
+	for p := model.Proc(1); p <= 5; p++ {
+		h = append(h, model.TryCommit(p), model.Commit(p))
+	}
+	_, err := feedAll(t, h, 2)
+	if !errors.Is(err, ErrNoQuiescentCut) {
+		t.Errorf("err = %v, want ErrNoQuiescentCut", err)
+	}
+	res, err := feedAll(t, h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("read-only concurrent transactions are opaque: %s", res.Reason)
+	}
+}

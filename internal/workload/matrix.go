@@ -2,11 +2,15 @@ package workload
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"time"
 
 	"livetm/internal/engine"
+	"livetm/internal/model"
+	"livetm/internal/monitor"
+	"livetm/internal/safety"
 )
 
 // The workload matrix is declared once — process count × read/write
@@ -164,11 +168,61 @@ type Result struct {
 	// CommitsPerStep normalizes simulated throughput by scheduler
 	// steps — the substrate's deterministic time unit.
 	CommitsPerStep float64 `json:"commits_per_step,omitempty"`
+	// Recorded and Checked report the Options.Record/Check path: the
+	// cell ran with history recording, and the recorded history passed
+	// the monitor's well-formedness and opacity checks. A check
+	// failure aborts the matrix instead of landing here as false.
+	Recorded bool `json:"recorded,omitempty"`
+	Checked  bool `json:"checked,omitempty"`
+}
+
+// Options selects the optional record/check path of a matrix run.
+type Options struct {
+	// Record runs every cell with history recording.
+	Record bool
+	// Check feeds each recorded history through the online monitor
+	// (implies Record): a malformed or non-opaque history fails the
+	// run. Cells the streaming checker refuses to decide (no quiescent
+	// cuts within budget) are reported with Checked=false rather than
+	// failing.
+	Check bool
+	// SegmentTxns is the monitor's per-segment transaction budget
+	// (default 48, max 64).
+	SegmentTxns int
+	// QuiesceEvery is the recorded native runs' rendezvous interval in
+	// rounds, planting the quiescent cuts the checker needs. Zero
+	// defaults to 4; a negative value disables the rendezvous (cells
+	// then usually come back undecided under Check).
+	QuiesceEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Check {
+		o.Record = true
+	}
+	if o.SegmentTxns <= 0 {
+		o.SegmentTxns = 48
+	}
+	if o.QuiesceEvery == 0 {
+		o.QuiesceEvery = 4
+	} else if o.QuiesceEvery < 0 {
+		o.QuiesceEvery = 0
+	}
+	return o
 }
 
 // RunMatrix executes every spec on every engine and returns the
 // result cells in declaration order.
 func RunMatrix(engines []engine.Engine, specs []Spec, budget Budget) ([]Result, error) {
+	return RunMatrixOptions(engines, specs, budget, Options{})
+}
+
+// RunMatrixOptions is RunMatrix with the record/check path: cells on
+// recording-capable engines capture their history, and with
+// opts.Check each history must satisfy well-formedness and the
+// streaming opacity check.
+func RunMatrixOptions(engines []engine.Engine, specs []Spec, budget Budget, opts Options) ([]Result, error) {
+	opts = opts.withDefaults()
 	var out []Result
 	for _, e := range engines {
 		caps := e.Capabilities()
@@ -182,6 +236,12 @@ func RunMatrix(engines []engine.Engine, specs []Spec, budget Budget) ([]Result, 
 				cfg.SimSteps = budget.SimSteps
 			} else {
 				cfg.OpsPerProc = budget.NativeOps
+			}
+			if opts.Record && caps.HistoryRecording {
+				cfg.Record = true
+				if caps.Substrate == engine.Native {
+					cfg.QuiesceEvery = opts.QuiesceEvery
+				}
 			}
 			start := time.Now()
 			st, err := e.Run(cfg, spec.Body())
@@ -199,6 +259,7 @@ func RunMatrix(engines []engine.Engine, specs []Spec, budget Budget) ([]Result, 
 				Commits:   st.Commits,
 				Aborts:    st.Aborts,
 				AbortRate: st.AbortRate(),
+				Recorded:  st.History != nil,
 			}
 			if caps.Substrate == engine.Simulated {
 				if st.Steps > 0 {
@@ -207,10 +268,47 @@ func RunMatrix(engines []engine.Engine, specs []Spec, budget Budget) ([]Result, 
 			} else if elapsed > 0 {
 				r.OpsPerSec = float64(st.Commits) / elapsed
 			}
+			if opts.Check && r.Recorded {
+				checked, err := checkCell(st.History, opts)
+				if err != nil {
+					return out, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
+				}
+				r.Checked = checked
+			}
 			out = append(out, r)
 		}
 	}
 	return out, nil
+}
+
+// checkCell verifies one recorded cell through the online monitor.
+// False (with nil error) means the streaming checker could not decide
+// the cell within its cut budget.
+func checkCell(h model.History, opts Options) (bool, error) {
+	if err := model.CheckWellFormed(h); err != nil {
+		return false, fmt.Errorf("recorded history malformed: %w", err)
+	}
+	m, err := monitor.New(monitor.Config{SegmentTxns: opts.SegmentTxns})
+	if err != nil {
+		return false, err
+	}
+	obsErr := m.ObserveHistory(h)
+	rep := m.Report()
+	if !rep.Checked {
+		// Undecided, not wrong: the streaming checker ran out of
+		// quiescent cuts or search budget, possibly only at Finish
+		// time (obsErr nil, reason in the report). Anything else —
+		// e.g. a malformed stream, which CheckWellFormed above should
+		// have caught — is a real failure.
+		if obsErr == nil || errors.Is(obsErr, safety.ErrNoQuiescentCut) || errors.Is(obsErr, safety.ErrTooManyTransactions) {
+			return false, nil
+		}
+		return false, fmt.Errorf("monitor could not decide the cell: %v", obsErr)
+	}
+	if !rep.Opacity.Holds {
+		return false, fmt.Errorf("recorded history not opaque: %s", rep.Opacity.Reason)
+	}
+	return true, nil
 }
 
 // Artifact is the machine-readable benchmark trajectory written to

@@ -147,3 +147,39 @@ func TestRunMatrixCrossEngine(t *testing.T) {
 		t.Errorf("artifact has %d cells, want %d", len(art.Results), len(results))
 	}
 }
+
+// TestRunMatrixRecordChecked runs the record/check path on both
+// substrates: every recording-capable cell must capture a history and
+// pass the online monitor's well-formedness and opacity checks.
+func TestRunMatrixRecordChecked(t *testing.T) {
+	var engines []engine.Engine
+	for _, name := range []string{"sim-tl2", "native-tl2", "native-dstm"} {
+		e, ok := engine.Lookup(name)
+		if !ok {
+			t.Fatalf("engine %s not registered", name)
+		}
+		engines = append(engines, e)
+	}
+	specs := Matrix([]int{2})
+	results, err := RunMatrixOptions(engines, specs,
+		Budget{SimSteps: 400, NativeOps: 16},
+		Options{Check: true, QuiesceEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	undecided := 0
+	for _, r := range results {
+		if !r.Recorded {
+			t.Errorf("%s/%s: cell not recorded", r.Engine, r.Workload)
+		}
+		if !r.Checked {
+			undecided++
+		}
+	}
+	// The quiesce barrier plants cuts on native cells and simulated
+	// cells quiesce naturally, so the vast majority of cells must be
+	// decided, not refused.
+	if undecided > len(results)/4 {
+		t.Errorf("%d of %d cells undecided", undecided, len(results))
+	}
+}
