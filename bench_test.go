@@ -382,9 +382,12 @@ func TestWorkloadMatrixArtifact(t *testing.T) {
 // BenchmarkWorkloadMatrix is the wall-clock half of E21 (footnote 1)
 // generalized: the declared workload matrix (process count ×
 // read/write mix × contention × sharing) on every algorithm of both
-// substrates. The native cells measure real cores; the simulated
-// cells measure commits per deterministic scheduler step. The run
-// rewrites BENCH_native.json with full budgets.
+// substrates. The native cells run under the in-process monitor, so
+// their ops/sec is checked-throughput (live verification overlapped
+// with the run) with a liveness class and recorder-overhead ratio per
+// cell; the simulated cells measure commits per deterministic
+// scheduler step. The run rewrites BENCH_native.json (schema v2) with
+// full budgets.
 func BenchmarkWorkloadMatrix(b *testing.B) {
 	engines := engine.Engines(false)
 	specs := workload.Matrix([]int{1, 2, 4, 8})
@@ -392,7 +395,8 @@ func BenchmarkWorkloadMatrix(b *testing.B) {
 	var results []workload.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		results, err = workload.RunMatrix(engines, specs, budget)
+		results, err = workload.RunMatrixOptions(engines, specs, budget,
+			workload.Options{Live: true, Overhead: true, QuiesceEvery: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -416,9 +420,12 @@ func BenchmarkWorkloadMatrix(b *testing.B) {
 
 // BenchmarkRecorderOverhead measures what history recording costs on
 // the native hot path: the default workload (4 procs, update mix, hot
-// contention, shared variables) on native-tl2, unrecorded vs recorded.
-// Each recorded event is one atomic fetch-add plus a process-local
-// append, so the slowdown must stay well under the 2x budget.
+// contention, shared variables) on native-tl2, unrecorded vs recorded
+// vs live-monitored. Each recorded event is one atomic fetch-add plus
+// a process-local chunk append, so the recorded slowdown must stay
+// well under the 2x budget; the live variant adds the stream send and
+// the monitor goroutine, and must keep its allocation capped at the
+// chunk ring (one reusable chunk per process — asserted here).
 func BenchmarkRecorderOverhead(b *testing.B) {
 	var spec workload.Spec
 	for _, s := range workload.Matrix([]int{4}) {
@@ -432,13 +439,13 @@ func BenchmarkRecorderOverhead(b *testing.B) {
 		b.Fatal("native-tl2 not registered")
 	}
 	const ops = 2000
-	measure := func(b *testing.B, record bool) float64 {
+	measure := func(b *testing.B, record, live bool) float64 {
 		var elapsed time.Duration
 		for i := 0; i < b.N; i++ {
 			start := time.Now()
 			st, err := e.Run(engine.RunConfig{
 				Procs: spec.Procs, Vars: spec.Vars,
-				OpsPerProc: ops, Record: record,
+				OpsPerProc: ops, Record: record, Live: live,
 			}, spec.Body())
 			if err != nil {
 				b.Fatal(err)
@@ -447,18 +454,30 @@ func BenchmarkRecorderOverhead(b *testing.B) {
 			if record && len(st.History) == 0 {
 				b.Fatal("recording run returned no history")
 			}
+			if live {
+				if !st.Live.Checked {
+					b.Fatalf("live run undecided: %s", st.Live.Opacity.Reason)
+				}
+				// The allocation cap the ring of reusable chunks buys:
+				// one chunk per process, however long the run.
+				if st.RecorderChunks > spec.Procs {
+					b.Fatalf("live run allocated %d chunks, cap is %d (one ring chunk per process)",
+						st.RecorderChunks, spec.Procs)
+				}
+			}
 		}
 		rate := float64(b.N) * float64(spec.Procs*ops) / elapsed.Seconds()
 		b.ReportMetric(rate, "commits/sec")
 		return rate
 	}
-	var raw, recorded float64
-	b.Run("unrecorded", func(b *testing.B) { raw = measure(b, false) })
-	b.Run("recorded", func(b *testing.B) { recorded = measure(b, true) })
-	if raw > 0 && recorded > 0 {
+	var raw, recorded, live float64
+	b.Run("unrecorded", func(b *testing.B) { raw = measure(b, false, false) })
+	b.Run("recorded", func(b *testing.B) { recorded = measure(b, true, false) })
+	b.Run("live", func(b *testing.B) { live = measure(b, false, true) })
+	if raw > 0 && recorded > 0 && live > 0 {
 		printHeader("recorder", fmt.Sprintf(
-			"recorder overhead (%s on native-tl2): unrecorded %.0f commits/sec, recorded %.0f commits/sec -> %.2fx slowdown (budget 2x)\n",
-			spec.Name, raw, recorded, raw/recorded))
+			"recorder overhead (%s on native-tl2): unrecorded %.0f commits/sec, recorded %.0f commits/sec (%.2fx, budget 2x), live-monitored %.0f commits/sec (%.2fx)\n",
+			spec.Name, raw, recorded, raw/recorded, live, raw/live))
 	}
 }
 

@@ -7,6 +7,15 @@
 //	    Run the liveness matrix (DESIGN.md E20): each TM × fault
 //	    model, compared against the paper's §3.2.3 claims.
 //
+//	livetm run -engine NAME [-procs N] [-ops N] [-mix M] [-contention C] [-sharing S] [-live] [-out FILE]
+//	    Run one workload cell on a native engine with the in-process
+//	    monitor attached (-live, the default): events stream into the
+//	    checker while the cell executes, an opacity violation stops
+//	    the run mid-flight, and the measured per-process starvation
+//	    rebiases the retry backoff (starved processes back off less).
+//	    Prints the monitor report and liveness class; -live=false
+//	    degrades to a plain recorded run (like `livetm record`).
+//
 //	livetm adversary -tm NAME [-alg 1|2] [-crash] [-parasitic] [-rounds N] [-out FILE]
 //	    Run the Theorem 1 environment strategy against a TM and print
 //	    the resulting history suffix (Figures 9, 10, 12, 13).
@@ -20,10 +29,14 @@
 //	    with history recording and write the history as a JSON Lines
 //	    trace ("-" writes stdout, so it pipes into check/monitor).
 //
-//	livetm monitor -file FILE [-segment N] [-window N] [-every N]
+//	livetm monitor -file FILE [-segment N] [-window N] [-every N] [-approx] | -live [-engine NAME] ...
 //	    Stream a trace ("-" reads stdin, live from a pipe) through the
 //	    online monitor: incremental opacity checking plus per-process
 //	    progress accounting classified against the liveness lattice.
+//	    -approx degrades cut-starved streams to an explicit
+//	    approximate verdict (forced serialization frontiers) instead
+//	    of refusing them; -live monitors an in-process native run
+//	    (same flags as `livetm run`).
 //
 //	livetm classify -file FILE [-split N]
 //	    Read a trace as an infinite history (observed tail repeated
@@ -63,11 +76,14 @@
 //	    List every (algorithm, substrate) engine behind the unified
 //	    engine API with its capabilities.
 //
-//	livetm workloads [-procs LIST] [-simsteps N] [-ops N] [-out FILE] [-record] [-check]
+//	livetm workloads [-procs LIST] [-simsteps N] [-ops N] [-out FILE] [-record] [-check] [-live] [-overhead]
 //	    Run the declared workload matrix on every engine of both
 //	    substrates and print the result table (optionally writing the
-//	    BENCH_native.json artifact); -record captures each cell's
-//	    history and -check verifies it through the online monitor.
+//	    BENCH_native.json schema-v2 artifact); -record captures each
+//	    cell's history, -check verifies it through the online monitor,
+//	    -live runs native cells under the in-process monitor (per-cell
+//	    liveness class, starvation-aware backoff), and -overhead
+//	    measures each native cell's recording-cost ratio.
 package main
 
 import (
@@ -109,6 +125,7 @@ var subcommands = []struct {
 	run  func(args []string) error
 }{
 	{"matrix", cmdMatrix},
+	{"run", cmdRun},
 	{"check", cmdCheck},
 	{"classify", cmdClassify},
 	{"adversary", cmdAdversary},
@@ -600,6 +617,8 @@ func cmdWorkloads(args []string) error {
 	ablations := fs.Bool("ablations", false, "include the simulated ablation variants")
 	record := fs.Bool("record", false, "record each cell's history")
 	check := fs.Bool("check", false, "verify each recorded history through the online monitor (implies -record)")
+	live := fs.Bool("live", false, "run native cells under the in-process monitor (mid-flight stop, starvation-aware backoff, per-cell liveness class)")
+	overhead := fs.Bool("overhead", false, "measure each native cell's recording overhead ratio against an unrecorded rerun")
 	quiesce := fs.Int("quiesce", 4, "rendezvous interval (rounds) of recorded native cells (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -621,7 +640,7 @@ func cmdWorkloads(args []string) error {
 	budget := workload.Budget{SimSteps: *simSteps, NativeOps: *ops}
 	fmt.Printf("running %d workloads × %d engines...\n", len(specs), len(engines))
 	results, err := workload.RunMatrixOptions(engines, specs, budget,
-		workload.Options{Record: *record, Check: *check, QuiesceEvery: quiesceOpt})
+		workload.Options{Record: *record, Check: *check, Live: *live, Overhead: *overhead, QuiesceEvery: quiesceOpt})
 	if err != nil {
 		return err
 	}
@@ -633,7 +652,7 @@ func cmdWorkloads(args []string) error {
 				checked++
 			}
 		}
-		fmt.Printf("checked %d of %d recorded cells well-formed and opaque (the rest undecided within the cut budget)\n",
+		fmt.Printf("checked %d of %d cells well-formed and opaque (the rest undecided within the cut budget)\n",
 			checked, len(results))
 	}
 	if *out != "" {
@@ -643,6 +662,89 @@ func cmdWorkloads(args []string) error {
 		fmt.Printf("artifact written to %s (%d cells)\n", *out, len(results))
 	}
 	return nil
+}
+
+// matrixCell selects the declared matrix cell with the given mix,
+// contention and sharing for one process count, so traces and live
+// runs always match the matrix cell of the same name.
+func matrixCell(procs int, mix, contention, sharing string) (workload.Spec, error) {
+	for _, s := range workload.Matrix([]int{procs}) {
+		if s.Mix.Name == mix && s.Contention.Name == contention && string(s.Sharing) == sharing {
+			return s, nil
+		}
+	}
+	return workload.Spec{}, fmt.Errorf("no matrix cell with mix %q, contention %q, sharing %q", mix, contention, sharing)
+}
+
+// runLiveCell executes one matrix cell on a native engine with the
+// in-process monitor attached and prints the run's stats and the
+// monitor's report. Shared by `livetm run` and `livetm monitor -live`.
+func runLiveCell(engineName string, procs, ops int, mix, contention, sharing string, quiesce, segment, window int, out string) error {
+	e, ok := engine.Lookup(engineName)
+	if !ok {
+		return fmt.Errorf("unknown engine %q", engineName)
+	}
+	spec, err := matrixCell(procs, mix, contention, sharing)
+	if err != nil {
+		return err
+	}
+	cfg := engine.RunConfig{
+		Procs:           spec.Procs,
+		Vars:            spec.Vars,
+		OpsPerProc:      ops,
+		Live:            true,
+		Record:          out != "",
+		QuiesceEvery:    quiesce,
+		LiveSegmentTxns: segment,
+		LiveTailWindow:  window,
+	}
+	st, runErr := e.Run(cfg, spec.Body())
+	fmt.Printf("live %s on %s: commits=%d aborts=%d no-commits=%d stopped=%v\n",
+		spec.Name, e.Name(), st.Commits, st.Aborts, st.NoCommits, st.Stopped)
+	if st.Live != nil {
+		fmt.Print(st.Live.Format())
+		fmt.Printf("  liveness class: %s\n", st.Live.LivenessClass())
+	}
+	fmt.Printf("  backoff cap=%d bias=%v recorder chunks=%d\n", st.BackoffCap, st.BackoffBias, st.RecorderChunks)
+	if out != "" && st.History != nil {
+		if err := model.SaveTrace(out, st.History); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d events)\n", out, len(st.History))
+	}
+	return runErr
+}
+
+// cmdRun runs one workload cell under the in-process monitor: events
+// stream into the checker while the cell executes, a safety violation
+// stops the run mid-flight, and measured starvation rebiases the
+// native backoff loop.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	name := fs.String("engine", "native-tl2", "native engine to run (see `livetm engines`)")
+	procsN := fs.Int("procs", 4, "process count")
+	ops := fs.Int("ops", 200, "rounds per process")
+	mixName := fs.String("mix", "update", "read/write mix: update, readheavy or writeheavy")
+	contentionName := fs.String("contention", "hot", "contention level: hot or cold")
+	sharing := fs.String("sharing", "shared", "variable sharing: shared or disjoint")
+	live := fs.Bool("live", true, "attach the in-process monitor (mid-flight violation stop + starvation-aware backoff)")
+	quiesce := fs.Int("quiesce", 0, "rendezvous interval in rounds (0 = the live default of 4, -1 = never)")
+	segment := fs.Int("segment", 0, "live checker segment budget in transactions (0 = default 48)")
+	out := fs.String("out", "", "also retain the history and write it as a JSON Lines trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*live {
+		// Without the monitor this is a plain recorded run; reuse the
+		// record path so the two stay behaviourally identical.
+		rest := []string{"-engine", *name, "-procs", strconv.Itoa(*procsN), "-ops", strconv.Itoa(*ops),
+			"-mix", *mixName, "-contention", *contentionName, "-sharing", *sharing}
+		if *out != "" {
+			rest = append(rest, "-out", *out)
+		}
+		return cmdRecord(rest)
+	}
+	return runLiveCell(*name, *procsN, *ops, *mixName, *contentionName, *sharing, *quiesce, *segment, 0, *out)
 }
 
 // cmdRecord runs one recording-capable engine over a workload-matrix
@@ -673,16 +775,9 @@ func cmdRecord(args []string) error {
 	// Select the cell from the declared matrix rather than rebuilding
 	// it, so recorded traces always match the matrix cell of the same
 	// name.
-	var spec workload.Spec
-	found := false
-	for _, s := range workload.Matrix([]int{*procsN}) {
-		if s.Mix.Name == *mixName && s.Contention.Name == *contentionName && string(s.Sharing) == *sharing {
-			spec, found = s, true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("record: no matrix cell with mix %q, contention %q, sharing %q", *mixName, *contentionName, *sharing)
+	spec, err := matrixCell(*procsN, *mixName, *contentionName, *sharing)
+	if err != nil {
+		return fmt.Errorf("record: %w", err)
 	}
 	cfg := engine.RunConfig{
 		Procs:      spec.Procs,
@@ -712,19 +807,43 @@ func cmdRecord(args []string) error {
 	return nil
 }
 
-// cmdMonitor streams a trace — live from a pipe or replayed from a
-// file — through the online monitor.
+// cmdMonitor streams a trace — live from a pipe, replayed from a
+// file, or (with -live) produced by an in-process native run — through
+// the online monitor.
 func cmdMonitor(args []string) error {
 	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
 	file := fs.String("file", "", "JSON Lines trace file, or - for stdin")
 	segment := fs.Int("segment", 48, "streaming opacity segment budget (transactions)")
 	window := fs.Int("window", 256, "tail window (events) for liveness classification")
 	every := fs.Int("every", 0, "print a progress line every N events (0 = only the final report)")
+	approx := fs.Bool("approx", false, "degrade cut-starved streams to approximate verdicts instead of refusing")
+	live := fs.Bool("live", false, "monitor an in-process native run instead of a trace (mid-flight stop + starvation-aware backoff)")
+	engineName := fs.String("engine", "native-tl2", "native engine for -live (see `livetm engines`)")
+	procsN := fs.Int("procs", 4, "process count for -live")
+	ops := fs.Int("ops", 200, "rounds per process for -live")
+	mixName := fs.String("mix", "update", "read/write mix for -live")
+	contentionName := fs.String("contention", "hot", "contention level for -live")
+	sharing := fs.String("sharing", "shared", "variable sharing for -live")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *live {
+		// Flags the in-process path cannot honour are rejected, not
+		// silently dropped.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "file", "every", "approx":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("monitor: %s cannot be combined with -live (the engine's in-process monitor streams internally and always uses the approximate fallback)", strings.Join(conflict, ", "))
+		}
+		return runLiveCell(*engineName, *procsN, *ops, *mixName, *contentionName, *sharing, 0, *segment, *window, "")
+	}
 	if *file == "" {
-		return fmt.Errorf("monitor: -file is required")
+		return fmt.Errorf("monitor: -file is required (or -live for an in-process run)")
 	}
 	in := os.Stdin
 	if *file != "-" {
@@ -735,7 +854,7 @@ func cmdMonitor(args []string) error {
 		defer f.Close()
 		in = f
 	}
-	m, err := monitor.New(monitor.Config{SegmentTxns: *segment, TailWindow: *window})
+	m, err := monitor.New(monitor.Config{SegmentTxns: *segment, TailWindow: *window, Approx: *approx})
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"livetm/internal/workload"
 )
 
 func TestRunRequiresSubcommand(t *testing.T) {
@@ -249,5 +252,74 @@ func TestSubcommandTable(t *testing.T) {
 	}
 	if err := run([]string{"engines", "stray"}); err == nil {
 		t.Error("engines with arguments must error")
+	}
+}
+
+// TestCmdRunLive: `livetm run` drives a native cell under the
+// in-process monitor, optionally retaining the trace, and degrades to
+// a plain recorded run with -live=false.
+func TestCmdRunLive(t *testing.T) {
+	if err := run([]string{"run", "-engine", "native-tl2", "-procs", "2", "-ops", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "live.jsonl")
+	if err := run([]string{"run", "-engine", "native-dstm", "-procs", "2", "-ops", "15", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("live trace missing or empty: %v", err)
+	}
+	if err := run([]string{"check", "-file", path, "-render=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-live=false", "-engine", "native-tl2", "-procs", "2", "-ops", "10",
+		"-out", filepath.Join(t.TempDir(), "plain.jsonl")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-engine", "no-such"}); err == nil {
+		t.Error("unknown engine must error")
+	}
+	if err := run([]string{"run", "-engine", "sim-tl2"}); err == nil {
+		t.Error("live run on a simulated engine must error")
+	}
+}
+
+// TestCmdMonitorLive: `livetm monitor -live` monitors an in-process
+// native run instead of reading a trace.
+func TestCmdMonitorLive(t *testing.T) {
+	if err := run([]string{"monitor", "-live", "-engine", "native-norec", "-procs", "2", "-ops", "15"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCmdWorkloadsLive: the live/overhead matrix flags produce the
+// schema-v2 artifact with liveness classes on native cells.
+func TestCmdWorkloadsLive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_native.json")
+	if err := run([]string{"workloads", "-procs", "2", "-simsteps", "200", "-ops", "12", "-live", "-check", "-overhead", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art workload.Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != workload.ArtifactSchema {
+		t.Fatalf("schema = %q, want %q", art.Schema, workload.ArtifactSchema)
+	}
+	liveCells := 0
+	for _, r := range art.Results {
+		if r.Live {
+			liveCells++
+			if r.LivenessClass == "" {
+				t.Errorf("%s/%s: live cell without class", r.Engine, r.Workload)
+			}
+		}
+	}
+	if liveCells == 0 {
+		t.Fatal("no live cells in the artifact")
 	}
 }

@@ -15,14 +15,22 @@
 // implementations (internal/native) for the wall-clock scalability
 // argument of footnote 1. Both substrates record histories: native
 // runs are observed at their linearization points through
-// internal/record (per-process buffers ordered by one atomic sequence
-// counter), and internal/monitor checks any history online — a
-// streaming segmented opacity check plus per-process progress
-// accounting classified against the liveness lattice. The workload
-// matrix (internal/workload) is declared once and executed against
-// every (algorithm, substrate) pair, optionally recording and checking
-// each cell; see internal/engine's package documentation for when to
-// use which substrate.
+// internal/record (per-process chunked buffers ordered by one atomic
+// sequence counter), and internal/monitor checks any history online —
+// a streaming segmented opacity check plus per-process progress
+// accounting classified against the liveness lattice. Monitoring also
+// runs in-process: RunConfig.Live streams a native run's events
+// through a bounded channel into the monitor while the workload
+// executes, stops the run mid-flight on a safety violation, and feeds
+// the measured per-process starvation back into the native retry
+// loop's backoff (starvation-aware contention management). Cut-starved
+// streams degrade to an explicit approximate verdict at forced
+// serialization frontiers instead of refusing. The workload matrix
+// (internal/workload) is declared once and executed against every
+// (algorithm, substrate) pair, optionally recording, checking, or
+// live-monitoring each cell (per-cell liveness class and recorder
+// overhead in the schema-v2 artifact); see internal/engine's package
+// documentation for when to use which substrate.
 //
 // The implementation lives under internal/; see README.md for the
 // architecture, cmd/figures and cmd/livetm for the experiment

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun executes the whole example: the healthy run must complete
+// under live monitoring with a holding verdict, and the broken TM must
+// be stopped mid-flight with a violation verdict. Run with -race.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

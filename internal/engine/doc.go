@@ -23,19 +23,40 @@
 // reproducible. Histories, however, are recordable on both substrates:
 // with RunConfig.Record a native run is observed at its linearization
 // points (internal/native's Observer hooks feeding internal/record's
-// per-process buffers, globally ordered by one atomic sequence
+// per-process chunked buffers, globally ordered by one atomic sequence
 // counter), and Stats.History carries a well-formed model.History of
 // what the hardware actually did. RunConfig.QuiesceEvery plants
 // quiescent cuts in recorded runs so the segmented and streaming
 // opacity checkers (safety.CheckOpacitySegmented, internal/monitor)
 // can verify arbitrarily long native executions in bounded memory.
 //
+// # Live monitoring
+//
+// RunConfig.Live closes the loop while the run is still executing: the
+// recorder publishes every stamped event into a bounded channel, a
+// pump goroutine restores the total order by sequence number and feeds
+// internal/monitor as the goroutines run. A safety violation cancels
+// the run mid-flight — the stop signal threads through the native
+// retry loop, so even a transaction wedged in retries stops — and Run
+// returns ErrLiveViolation with the verdict in Stats.Live. The same
+// feedback path drives starvation-aware backoff: the monitor's
+// per-process starvation intervals periodically rebias the shared
+// backoff policy (native.Backoff) so starved processes back off less
+// and hot ones more, within the capped dynamic range reported by
+// Stats.BackoffCap. Live without Record retains nothing: each process
+// recycles a ring chunk after its events are streamed, capping
+// recorder allocation for arbitrarily long monitored runs
+// (Stats.RecorderChunks). Streams whose schedule outruns the segment
+// budget between quiescent cuts degrade to an explicit approximate
+// verdict (forced serialization frontiers) instead of failing.
+//
 // Use the simulated substrate to ask "is it correct / live under this
 // exact adversarial schedule", the native substrate to ask "how fast
-// is it on this machine", and a recorded native run to ask "was this
-// real execution opaque, and which processes progressed". The workload
-// matrix (internal/workload) declares each scenario once and runs it
-// on every (algorithm, substrate) pair through this package.
+// is it on this machine", a recorded native run to ask "was this real
+// execution opaque, and which processes progressed", and a live native
+// run to ask "is it still opaque, and who is starving, right now". The
+// workload matrix (internal/workload) declares each scenario once and
+// runs it on every (algorithm, substrate) pair through this package.
 //
 // # The API
 //

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"livetm/internal/model"
+	"livetm/internal/monitor"
 )
 
 // Substrate identifies which execution substrate an engine runs on.
@@ -24,6 +25,12 @@ const (
 // only see it if they inspect operation errors, and must return it
 // (or the operation's error) unchanged.
 var ErrAborted = errors.New("engine: transaction aborted")
+
+// ErrLiveViolation is returned by Run when the live monitor
+// (RunConfig.Live) detected a safety violation and stopped the run
+// mid-flight. The returned Stats carry the monitor's report
+// (Stats.Live) with the failing verdict, and Stats.Stopped is true.
+var ErrLiveViolation = errors.New("engine: live monitor stopped the run")
 
 // ErrNoCommit is returned by a body to finish a round without
 // attempting to commit — the parasitic behaviour of the paper's §3.1:
@@ -78,7 +85,32 @@ type RunConfig struct {
 	// a quiescent cut in the recorded history, which the segmented and
 	// streaming opacity checkers need to keep their search windows
 	// bounded; unrecorded runs and throughput measurements leave it 0.
+	// Live runs treat 0 as "default" (every 4 rounds) because the live
+	// checker wants cuts; pass -1 to run live with no rendezvous at
+	// all (the approximate fallback then carries the whole stream).
 	QuiesceEvery int
+	// Live attaches the online monitor to a native run: recorded
+	// events stream through a bounded channel into monitor.Observe
+	// while the workload executes. A safety violation cancels the
+	// remaining rounds mid-flight (Run returns ErrLiveViolation), and
+	// the measured per-process starvation continuously rebiases the
+	// native retry loop's backoff so starved processes back off less
+	// and hot ones more. Live runs rendezvous every QuiesceEvery
+	// rounds (defaulting to 4 when left 0) to plant the quiescent cuts
+	// that keep the live checker exact; the bounded-overlap fallback
+	// absorbs windows that outrun the segment budget between cuts,
+	// degrading those to an approximate verdict. Live alone does not
+	// retain the history — the stream is consumed as it is produced,
+	// capping recorder allocation at a ring of chunks — set Record too
+	// to also get Stats.History. The simulated substrate rejects Live:
+	// its deterministic histories are checked after the fact.
+	Live bool
+	// LiveSegmentTxns is the live monitor's per-segment transaction
+	// budget (0 defaults to 48; max 64).
+	LiveSegmentTxns int
+	// LiveTailWindow is the live monitor's liveness-classification
+	// window in events (0 defaults to 256).
+	LiveTailWindow int
 }
 
 func (cfg RunConfig) validate(sub Substrate) error {
@@ -93,15 +125,27 @@ func (cfg RunConfig) validate(sub Substrate) error {
 		if cfg.SimSteps <= 0 {
 			return fmt.Errorf("engine: simulated runs need a positive SimSteps budget")
 		}
+		if cfg.Live {
+			return fmt.Errorf("engine: live monitoring needs the native substrate (simulated histories are checked after the run)")
+		}
 	case Native:
 		if cfg.OpsPerProc <= 0 {
 			return fmt.Errorf("engine: native runs need a positive OpsPerProc budget")
 		}
-		if cfg.QuiesceEvery < 0 {
-			return fmt.Errorf("engine: QuiesceEvery must be non-negative, got %d", cfg.QuiesceEvery)
+		if cfg.QuiesceEvery < 0 && !(cfg.Live && cfg.QuiesceEvery == -1) {
+			return fmt.Errorf("engine: QuiesceEvery must be non-negative (or -1 on a live run), got %d", cfg.QuiesceEvery)
 		}
-		if cfg.QuiesceEvery > 0 && !cfg.Record {
-			return fmt.Errorf("engine: QuiesceEvery only applies to recorded runs")
+		if cfg.QuiesceEvery > 0 && !cfg.Record && !cfg.Live {
+			return fmt.Errorf("engine: QuiesceEvery only applies to recorded or live runs")
+		}
+		if (cfg.LiveSegmentTxns != 0 || cfg.LiveTailWindow != 0) && !cfg.Live {
+			return fmt.Errorf("engine: LiveSegmentTxns and LiveTailWindow only apply to live runs")
+		}
+		if cfg.LiveSegmentTxns < 0 || cfg.LiveSegmentTxns > 64 {
+			return fmt.Errorf("engine: LiveSegmentTxns %d out of range [0, 64]", cfg.LiveSegmentTxns)
+		}
+		if cfg.LiveTailWindow < 0 {
+			return fmt.Errorf("engine: LiveTailWindow must be non-negative, got %d", cfg.LiveTailWindow)
 		}
 	}
 	return nil
@@ -123,6 +167,33 @@ type Stats struct {
 	// History is the recorded history when RunConfig.Record was set
 	// on a recording-capable engine, else nil.
 	History model.History
+	// Live is the online monitor's final report when RunConfig.Live
+	// was set: the streaming opacity verdict over the events observed
+	// and the per-process progress accounting with liveness
+	// classification.
+	Live *monitor.Report
+	// Stopped reports that the live monitor cancelled the run
+	// mid-flight; the commit counters then cover only the rounds that
+	// completed before the stop.
+	Stopped bool
+	// BackoffCap is the retry-backoff policy's spin-shift ceiling on
+	// native runs — the dynamic range the starvation-aware bias moves
+	// within. Zero on the simulated substrate (no backoff loop).
+	BackoffCap int
+	// BackoffBias is each process's final backoff bias on native runs:
+	// negative for processes the starvation feedback favoured, positive
+	// for processes it penalized. Nil when Live was off (no feedback
+	// ran) or on the simulated substrate.
+	BackoffBias []int
+	// RecorderChunks counts the event-buffer chunks the recorder
+	// allocated. On a live run without Record it stays capped at one
+	// reusable ring chunk per process regardless of run length.
+	RecorderChunks int
+	// Truncated reports that some process hit the recorder's retained-
+	// buffer cap: History (and, on a Record+Live run, the live verdict)
+	// covers a per-process prefix of the run, so verdicts are advisory.
+	// Live-only runs retain nothing and never truncate.
+	Truncated bool
 }
 
 // AbortRate is Aborts / (Commits + Aborts), or 0 with no attempts.

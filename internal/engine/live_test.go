@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"livetm/internal/native"
+)
+
+// bogusTM is a deliberately broken "TM" for violation injection: every
+// read returns a fresh value nobody ever wrote, which no legal
+// serialization can explain, and every commit succeeds. It implements
+// the full ObservableTM surface so the live monitor can watch it fail.
+type bogusTM struct {
+	vars    int
+	ctr     atomic.Int64
+	commits atomic.Uint64
+}
+
+type bogusTxn struct{ tm *bogusTM }
+
+func (tx bogusTxn) Read(i int) (int64, error)  { return 1000 + tx.tm.ctr.Add(1), nil }
+func (tx bogusTxn) Write(i int, v int64) error { return nil }
+
+func (b *bogusTM) Name() string        { return "native-bogus" }
+func (b *bogusTM) Vars() int           { return b.vars }
+func (b *bogusTM) Stats() native.Stats { return native.Stats{Commits: b.commits.Load()} }
+
+func (b *bogusTM) Atomically(fn func(native.Txn) error) error {
+	return b.AtomicallyOpts(native.RunOpts{}, fn)
+}
+
+func (b *bogusTM) AtomicallyObserved(obs native.Observer, fn func(native.Txn) error) error {
+	return b.AtomicallyOpts(native.RunOpts{Observer: obs}, fn)
+}
+
+func (b *bogusTM) AtomicallyOpts(opts native.RunOpts, fn func(native.Txn) error) error {
+	if opts.Stop != nil {
+		select {
+		case <-opts.Stop:
+			return native.ErrStopped
+		default:
+		}
+	}
+	obs := opts.Observer
+	tx := bogusTxn{tm: b}
+	var wrapped native.Txn = tx
+	if obs != nil {
+		wrapped = bogusObserved{tx: tx, obs: obs}
+	}
+	if err := fn(wrapped); err != nil {
+		if obs != nil {
+			obs.Abandon()
+		}
+		return err
+	}
+	if obs != nil {
+		obs.TryCommitInv()
+	}
+	b.commits.Add(1)
+	if obs != nil {
+		obs.TryCommitReturn(true)
+	}
+	return nil
+}
+
+type bogusObserved struct {
+	tx  bogusTxn
+	obs native.Observer
+}
+
+func (o bogusObserved) Read(i int) (int64, error) {
+	o.obs.ReadInv(i)
+	v, err := o.tx.Read(i)
+	o.obs.ReadReturn(i, v, false)
+	return v, err
+}
+
+func (o bogusObserved) Write(i int, v int64) error {
+	o.obs.WriteInv(i, v)
+	err := o.tx.Write(i, v)
+	o.obs.WriteReturn(i, v, false)
+	return err
+}
+
+func bogusEngine() *NativeEngine {
+	return NewNative(native.Info{
+		Name: "native-bogus", Nonblocking: true,
+		New: func(n int) (native.TM, error) { return &bogusTM{vars: n}, nil },
+	})
+}
+
+// TestLiveMonitorStopsViolatingRun is the acceptance check for
+// mid-flight cancellation: a native run whose TM serves impossible
+// reads must be stopped by the live monitor long before its budget,
+// with the violation verdict in the stats. Run with -race.
+func TestLiveMonitorStopsViolatingRun(t *testing.T) {
+	const procs, ops = 3, 200000
+	st, err := bogusEngine().Run(RunConfig{
+		Procs: procs, Vars: 2, OpsPerProc: ops, Live: true,
+	}, func(proc, round int, tx Tx) error {
+		_, err := tx.Read(0)
+		return err
+	})
+	if !errors.Is(err, ErrLiveViolation) {
+		t.Fatalf("err = %v, want ErrLiveViolation", err)
+	}
+	if !st.Stopped {
+		t.Error("Stats.Stopped must report the cancellation")
+	}
+	if st.Live == nil {
+		t.Fatal("no live report")
+	}
+	if !st.Live.Checked || st.Live.Opacity.Holds {
+		t.Fatalf("live verdict must be a violation: %+v", st.Live.Opacity)
+	}
+	if st.Live.Opacity.Reason == "" {
+		t.Error("violation verdict must carry a reason")
+	}
+	if st.Commits >= uint64(procs*ops) {
+		t.Fatalf("run completed its whole budget (%d commits) — not stopped mid-flight", st.Commits)
+	}
+	// The violation surfaces within the first checker window (~50
+	// transactions), so the stop must land well inside the budget.
+	if st.Commits > uint64(procs)*10000 {
+		t.Errorf("stop took %d commits — suspiciously late", st.Commits)
+	}
+}
+
+// TestLiveMonitorHealthyRun: a correct TM under live monitoring
+// completes its full budget with a holding verdict, per-process
+// accounting, and capped recorder allocation (no history retained
+// without Record). Run with -race.
+func TestLiveMonitorHealthyRun(t *testing.T) {
+	e, ok := Lookup("native-tl2")
+	if !ok {
+		t.Fatal("native-tl2 not registered")
+	}
+	const procs, ops = 4, 300
+	st, err := e.Run(RunConfig{Procs: procs, Vars: 1, OpsPerProc: ops, Live: true}, counterBody(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stopped {
+		t.Fatal("healthy run was stopped")
+	}
+	if st.Commits != uint64(procs*ops) {
+		t.Fatalf("commits = %d, want %d", st.Commits, procs*ops)
+	}
+	if st.Live == nil || !st.Live.Checked || !st.Live.Opacity.Holds {
+		t.Fatalf("healthy run verdict: %+v", st.Live)
+	}
+	if len(st.Live.Procs) != procs {
+		t.Fatalf("live report covers %d procs, want %d", len(st.Live.Procs), procs)
+	}
+	if st.History != nil {
+		t.Error("Live without Record must not retain the history")
+	}
+	if st.RecorderChunks > procs {
+		t.Errorf("live run allocated %d chunks, want <= %d (ring per process)", st.RecorderChunks, procs)
+	}
+	if st.BackoffCap != native.DefaultBackoffCap {
+		t.Errorf("BackoffCap = %d, want %d", st.BackoffCap, native.DefaultBackoffCap)
+	}
+	if len(st.BackoffBias) != procs {
+		t.Errorf("BackoffBias covers %d procs, want %d", len(st.BackoffBias), procs)
+	}
+	for p, b := range st.BackoffBias {
+		if b < -native.MaxBias || b > native.MaxBias {
+			t.Errorf("p%d bias %d outside ±%d", p, b, native.MaxBias)
+		}
+	}
+}
+
+// TestLiveWithRecordRetainsHistory: Live plus Record streams to the
+// monitor and retains the history; the monitor saw exactly the events
+// that were recorded. Run with -race.
+func TestLiveWithRecordRetainsHistory(t *testing.T) {
+	e, _ := Lookup("native-norec")
+	const procs, ops = 2, 100
+	st, err := e.Run(RunConfig{
+		Procs: procs, Vars: 2, OpsPerProc: ops, Live: true, Record: true, QuiesceEvery: 4,
+	}, mixedBody(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.History == nil {
+		t.Fatal("Record was set but no history came back")
+	}
+	if st.Live == nil {
+		t.Fatal("no live report")
+	}
+	if st.Live.Events != len(st.History) {
+		t.Errorf("monitor observed %d events, history has %d", st.Live.Events, len(st.History))
+	}
+	if !st.Live.Checked || !st.Live.Opacity.Holds {
+		t.Fatalf("healthy recorded run verdict: %+v", st.Live.Opacity)
+	}
+}
+
+// TestLiveRejectedOnSim: the simulated substrate refuses Live.
+func TestLiveRejectedOnSim(t *testing.T) {
+	e, ok := Lookup("sim-tl2")
+	if !ok {
+		t.Fatal("sim-tl2 not registered")
+	}
+	_, err := e.Run(RunConfig{Procs: 2, Vars: 1, SimSteps: 100, Live: true}, counterBody(0))
+	if err == nil {
+		t.Fatal("simulated engine accepted Live")
+	}
+}

@@ -2,9 +2,12 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"livetm/internal/model"
+	"livetm/internal/monitor"
 	"livetm/internal/native"
 	"livetm/internal/record"
 )
@@ -121,6 +124,97 @@ func (b *barrier) leave() {
 	}
 }
 
+// Live-monitoring plumbing constants.
+const (
+	// liveStreamCap bounds the event channel between the recording
+	// processes and the monitor pump: backpressure, not loss. Sized so
+	// short checker pauses (a segment search) do not stall producers —
+	// the cap is the live path's memory/latency trade: smaller means
+	// earlier backpressure and faster stops, larger means less stall.
+	liveStreamCap = 16384
+	// liveRebiasEvery is how often (in observed events) the pump feeds
+	// measured starvation back into the backoff policy.
+	liveRebiasEvery = 256
+	// liveSegmentTxns is the live checker's default per-segment
+	// transaction budget (RunConfig.LiveSegmentTxns overrides).
+	liveSegmentTxns = 48
+	// liveQuiesceEvery is the default rendezvous interval of a live
+	// run when RunConfig.QuiesceEvery is 0: real quiescent cuts keep
+	// the live checker exact; the bounded-overlap fallback only has to
+	// absorb the windows that outrun the budget between cuts.
+	liveQuiesceEvery = 4
+)
+
+// liveState couples one live run's monitor, backoff feedback loop and
+// stop signal. The pump goroutine owns the monitor until done closes;
+// violation is written before stop closes and read after done, so the
+// channels order the accesses.
+type liveState struct {
+	mon       *monitor.Monitor
+	bo        *native.Backoff
+	stop      chan struct{}
+	done      chan struct{}
+	violation error
+}
+
+// runPump restores the recorded total order from the stream's
+// per-sequence arrivals and feeds it to the monitor while the workload
+// executes. A terminal safety error closes the stop channel — the
+// mid-flight cancellation — after which the pump keeps draining (so no
+// producer stays blocked on a full channel) and keeps the progress
+// accounting current. Starvation feedback rebiases the backoff policy
+// every liveRebiasEvery events.
+func runPump(ls *liveState, stream <-chan []record.Streamed, procs int) {
+	defer close(ls.done)
+	// Sends from different processes can overtake each other between
+	// stamping and publishing by at most the in-flight window (process
+	// count + channel capacity), so a ring indexed by sequence number
+	// restores the total order without a map on the per-event path.
+	// The overflow map only absorbs the pathological case of a process
+	// descheduled mid-publish for longer than the whole window.
+	const ringSize = 1 << 16 // power of two > procs + liveStreamCap
+	ring := make([]model.Event, ringSize)
+	present := make([]bool, ringSize)
+	overflow := make(map[uint64]model.Event)
+	next := uint64(1)
+	observed := 0
+	stopped := false
+	for batch := range stream {
+		for _, s := range batch {
+			if s.Seq >= next+ringSize {
+				overflow[s.Seq] = s.Ev
+			} else {
+				ring[s.Seq%ringSize] = s.Ev
+				present[s.Seq%ringSize] = true
+			}
+		}
+		for {
+			slot := next % ringSize
+			if !present[slot] {
+				if ev, ok := overflow[next]; ok {
+					delete(overflow, next)
+					ring[slot] = ev
+				} else {
+					break
+				}
+			}
+			ev := ring[slot]
+			present[slot] = false
+			next++
+			observed++
+			err := ls.mon.Observe(ev)
+			if err != nil && !stopped {
+				ls.violation = err
+				stopped = true
+				close(ls.stop)
+			}
+			if !stopped && observed%liveRebiasEvery == 0 {
+				ls.bo.Rebias(ls.mon.StarvationNow(procs))
+			}
+		}
+	}
+}
+
 // Run implements Engine.
 func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 	if err := cfg.validate(Native); err != nil {
@@ -130,24 +224,59 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	obsTM, observable := tm.(native.ObservableTM)
+	recording := cfg.Record || cfg.Live
+	if recording && !observable {
+		return Stats{}, errors.New("engine: " + e.info.Name + " does not expose linearization-point hooks")
+	}
+	bo := native.NewBackoff(cfg.Procs)
 	var rec *record.Recorder
-	var obsTM native.ObservableTM
-	if cfg.Record {
-		var ok bool
-		if obsTM, ok = tm.(native.ObservableTM); !ok {
-			return Stats{}, errors.New("engine: " + e.info.Name + " does not expose linearization-point hooks")
+	var live *liveState
+	if cfg.Live {
+		segTxns := cfg.LiveSegmentTxns
+		if segTxns == 0 {
+			segTxns = liveSegmentTxns
 		}
+		procs := make([]model.Proc, cfg.Procs)
+		for i := range procs {
+			procs[i] = model.Proc(i + 1)
+		}
+		mon, err := monitor.New(monitor.Config{
+			SegmentTxns: segTxns, TailWindow: cfg.LiveTailWindow, Procs: procs, Approx: true,
+		})
+		if err != nil {
+			return Stats{}, err
+		}
+		live = &liveState{mon: mon, bo: bo, stop: make(chan struct{}), done: make(chan struct{})}
+		rec = record.NewWithOptions(cfg.Procs, record.Options{
+			CapacityHint:   cfg.OpsPerProc*8 + 16,
+			StreamCapacity: liveStreamCap,
+			Stop:           live.stop,
+			// Without Record the stream is the only consumer, so the
+			// per-process chunk rings recycle and allocation stays flat.
+			DropStreamed: !cfg.Record,
+		})
+		go runPump(live, rec.Stream(), cfg.Procs)
+	} else if cfg.Record {
 		// Pre-size each process's buffer for its committed rounds; a
-		// busier run grows process-locally.
+		// busier run grows process-locally, chunk by chunk.
 		rec = record.New(cfg.Procs, cfg.OpsPerProc*8+16)
 	}
+	quiesce := cfg.QuiesceEvery
+	if cfg.Live && quiesce == 0 {
+		quiesce = liveQuiesceEvery
+	}
+	if quiesce < 0 { // live with rendezvous explicitly disabled
+		quiesce = 0
+	}
 	var bar *barrier
-	if cfg.Record && cfg.QuiesceEvery > 0 {
+	if recording && quiesce > 0 {
 		bar = newBarrier(cfg.Procs)
 	}
 	commits := make([]uint64, cfg.Procs)
 	noCommits := make([]uint64, cfg.Procs)
 	errs := make([]error, cfg.Procs)
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	for p := 0; p < cfg.Procs; p++ {
 		proc := p
@@ -158,11 +287,23 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 			if rec != nil {
 				obs = rec.Log(model.Proc(proc + 1))
 			}
+			var stop <-chan struct{}
+			if live != nil {
+				stop = live.stop
+			}
 			if bar != nil {
 				defer bar.leave()
 			}
 			for round := 0; round < cfg.OpsPerProc; round++ {
-				if bar != nil && round > 0 && round%cfg.QuiesceEvery == 0 {
+				if stop != nil {
+					select {
+					case <-stop:
+						stopped.Store(true)
+						return
+					default:
+					}
+				}
+				if bar != nil && round > 0 && round%quiesce == 0 {
 					bar.await()
 				}
 				fn := func(tx native.Txn) error {
@@ -174,8 +315,10 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 					}
 				}
 				var err error
-				if obsTM != nil {
-					err = obsTM.AtomicallyObserved(obs, fn)
+				if observable {
+					err = obsTM.AtomicallyOpts(native.RunOpts{
+						Observer: obs, Stop: stop, Backoff: bo, Proc: proc,
+					}, fn)
 				} else {
 					err = tm.Atomically(fn)
 				}
@@ -184,6 +327,9 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 					commits[proc]++
 				case errors.Is(err, ErrNoCommit):
 					noCommits[proc]++
+				case errors.Is(err, native.ErrStopped):
+					stopped.Store(true)
+					return
 				default:
 					errs[proc] = err
 					return
@@ -192,14 +338,31 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 		}()
 	}
 	wg.Wait()
+	if live != nil {
+		rec.CloseStream()
+		<-live.done
+	}
 
-	st := Stats{PerProcCommits: commits, Aborts: tm.Stats().Aborts}
+	st := Stats{PerProcCommits: commits, Aborts: tm.Stats().Aborts, BackoffCap: bo.Cap()}
 	for p := 0; p < cfg.Procs; p++ {
 		st.Commits += commits[p]
 		st.NoCommits += noCommits[p]
 	}
 	if rec != nil {
+		st.RecorderChunks = rec.Chunks()
+		st.Truncated = rec.Truncated()
+	}
+	if cfg.Record && rec != nil {
 		st.History = rec.History()
+	}
+	if live != nil {
+		rep := live.mon.Report()
+		st.Live = &rep
+		st.Stopped = stopped.Load()
+		st.BackoffBias = bo.BiasSnapshot()
+		if live.violation != nil {
+			return st, fmt.Errorf("%w: %v", ErrLiveViolation, live.violation)
+		}
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -42,6 +42,12 @@ type Config struct {
 	// that never produce an event still count (the paper fixes P up
 	// front); nil defaults to the processes observed.
 	Procs []model.Proc
+	// Approx enables the streaming checker's bounded-overlap fallback:
+	// a cut-starved stream degrades to an explicit approximate verdict
+	// (Report.Opacity.Approx) at forced serialization frontiers instead
+	// of failing with ErrNoQuiescentCut. Live monitoring sets it — a
+	// run must not die because its schedule never quiesced.
+	Approx bool
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +110,9 @@ func New(cfg Config) (*Monitor, error) {
 	checker, err := safety.NewStreamChecker(cfg.SegmentTxns)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Approx {
+		checker.WithApproxFallback()
 	}
 	m := &Monitor{
 		cfg:     cfg,
@@ -189,6 +198,23 @@ func (m *Monitor) ObserveHistory(h model.History) error {
 // Events returns the number of events observed so far.
 func (m *Monitor) Events() int { return m.events }
 
+// StarvationNow returns each process's current commit gap — global
+// events since its last commit (or since the run began) — indexed by
+// process id minus one, for procs processes. Unlike MaxStarvation it
+// is the instantaneous figure, which makes it the feedback signal for
+// starvation-aware contention management: a hot process shows a small
+// gap, a starving one a growing gap. Non-terminal; call it while the
+// run is still being observed.
+func (m *Monitor) StarvationNow(procs int) []int {
+	out := make([]int, procs)
+	for p, pp := range m.procs {
+		if i := int(p) - 1; i >= 0 && i < procs {
+			out[i] = m.events - pp.activeFrom
+		}
+	}
+	return out
+}
+
 // tail returns the window contents in arrival order.
 func (m *Monitor) tail() model.History {
 	if !m.wfull {
@@ -231,10 +257,27 @@ type Report struct {
 	Verdicts []Verdict
 }
 
+// LivenessClass names the strongest liveness-lattice property the
+// observed run satisfied, scanning the verdicts strongest first:
+// "local progress", "2-progress", "global progress", "solo progress",
+// or "none" when nothing in the lattice held (or no events were
+// observed).
+func (r Report) LivenessClass() string {
+	for _, v := range r.Verdicts {
+		if v.Holds {
+			return v.Property
+		}
+	}
+	return "none"
+}
+
 // Format renders the report as an aligned text block.
 func (r Report) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "events=%d segments=%d opaque=%v", r.Events, r.Opacity.Segments, r.Opacity.Holds && r.Checked)
+	if r.Opacity.Approx {
+		fmt.Fprintf(&b, " (approximate: %d forced frontiers)", r.Opacity.ForcedCuts)
+	}
 	if !r.Checked {
 		fmt.Fprintf(&b, " (not decided: %s)", r.Opacity.Reason)
 	} else if !r.Opacity.Holds {

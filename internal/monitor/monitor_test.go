@@ -217,3 +217,79 @@ func TestMonitorEmpty(t *testing.T) {
 		t.Errorf("declared procs must appear in the report: %d", len(r.Procs))
 	}
 }
+
+// TestMonitorApproxFallback: with Approx the cut-starved run of
+// TestMonitorClassification gets an explicit approximate verdict
+// instead of being undecided.
+func TestMonitorApproxFallback(t *testing.T) {
+	m, err := New(Config{SegmentTxns: 2, Approx: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := model.NewBuilder()
+	b.Raw(model.Read(3, 1), model.ValueResp(3, 0)) // stays open forever
+	v := model.Value(0)
+	for i := 0; i < 12; i++ {
+		v = increments(b, 1, v, 1)
+	}
+	if err := m.ObserveHistory(b.History()); err != nil {
+		t.Fatalf("approx monitor refused: %v", err)
+	}
+	r := m.Report()
+	if !r.Checked {
+		t.Fatalf("approx fallback must decide: %+v", r.Opacity)
+	}
+	if !r.Opacity.Holds || !r.Opacity.Approx || r.Opacity.ForcedCuts == 0 {
+		t.Fatalf("want an approximate holding verdict, got %+v", r.Opacity)
+	}
+	if !strings.Contains(r.Format(), "approximate") {
+		t.Errorf("Format must flag the approximate verdict:\n%s", r.Format())
+	}
+}
+
+// TestMonitorStarvationNow: the instantaneous commit gap grows for a
+// silent process and resets on a commit — the feedback signal for
+// starvation-aware backoff.
+func TestMonitorStarvationNow(t *testing.T) {
+	m, err := New(Config{SegmentTxns: 8, Procs: []model.Proc{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := model.NewBuilder()
+	v := increments(b, 1, 0, 4) // 24 events, p2 silent
+	if err := m.ObserveHistory(b.History()); err != nil {
+		t.Fatal(err)
+	}
+	now := m.StarvationNow(2)
+	if now[1] != m.Events() {
+		t.Errorf("silent p2 gap = %d, want %d", now[1], m.Events())
+	}
+	if now[0] >= now[1] {
+		t.Errorf("committing p1 gap (%d) not below silent p2 (%d)", now[0], now[1])
+	}
+	b2 := model.NewBuilder()
+	increments(b2, 2, v, 1)
+	if err := m.ObserveHistory(b2.History()); err != nil {
+		t.Fatal(err)
+	}
+	after := m.StarvationNow(2)
+	if after[1] >= now[1] {
+		t.Errorf("p2 gap did not reset on commit: %d -> %d", now[1], after[1])
+	}
+}
+
+// TestReportLivenessClass: the class is the strongest holding verdict.
+func TestReportLivenessClass(t *testing.T) {
+	r := Report{Verdicts: []Verdict{
+		{Property: "local progress", Holds: false},
+		{Property: "2-progress", Holds: false},
+		{Property: "global progress", Holds: true},
+		{Property: "solo progress", Holds: true},
+	}}
+	if got := r.LivenessClass(); got != "global progress" {
+		t.Errorf("class = %q, want %q", got, "global progress")
+	}
+	if got := (Report{}).LivenessClass(); got != "none" {
+		t.Errorf("empty class = %q, want none", got)
+	}
+}

@@ -75,12 +75,17 @@ func (t *DSTM) Stats() Stats { return t.snapshot() }
 
 // Atomically implements TM.
 func (t *DSTM) Atomically(fn func(Txn) error) error {
-	return runAtomically(&t.counters, t.begin, nil, fn)
+	return runAtomically(&t.counters, t.begin, RunOpts{}, fn)
 }
 
 // AtomicallyObserved implements ObservableTM.
 func (t *DSTM) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
-	return runAtomically(&t.counters, t.begin, obs, fn)
+	return runAtomically(&t.counters, t.begin, RunOpts{Observer: obs}, fn)
+}
+
+// AtomicallyOpts implements ObservableTM.
+func (t *DSTM) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
+	return runAtomically(&t.counters, t.begin, opts, fn)
 }
 
 func (t *DSTM) begin() attempt {

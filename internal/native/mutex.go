@@ -41,6 +41,20 @@ func (m *Mutex) Atomically(fn func(Txn) error) error {
 	return m.AtomicallyObserved(nil, fn)
 }
 
+// AtomicallyOpts implements ObservableTM. Mutex never retries, so the
+// backoff policy is unused; the stop signal is honoured before the
+// lock is taken (a transaction already under the lock completes).
+func (m *Mutex) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
+	if opts.Stop != nil {
+		select {
+		case <-opts.Stop:
+			return ErrStopped
+		default:
+		}
+	}
+	return m.AtomicallyObserved(opts.Observer, fn)
+}
+
 // AtomicallyObserved implements ObservableTM. The whole transaction —
 // including the observer's commit callbacks — runs under the mutex, so
 // observed events of different transactions never interleave.

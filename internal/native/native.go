@@ -29,7 +29,6 @@ package native
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync/atomic"
 )
 
@@ -37,6 +36,11 @@ import (
 // attempt must be retried. Atomically handles it internally; bodies
 // only see it if they inspect operation errors.
 var ErrAborted = errors.New("native: transaction aborted")
+
+// ErrStopped is returned by AtomicallyOpts when RunOpts.Stop closed
+// between attempts: the run is being torn down (e.g. the live monitor
+// detected a safety violation) and the transaction will not retry.
+var ErrStopped = errors.New("native: run stopped")
 
 // TM is a transactional memory over a fixed array of int64
 // t-variables.
@@ -108,13 +112,43 @@ func (c *counters) snapshot() Stats {
 	return Stats{Commits: c.commits.Load(), Aborts: c.aborts.Load()}
 }
 
+// RunOpts configures one execution of the shared retry loop beyond
+// plain Atomically. The zero value is plain Atomically.
+type RunOpts struct {
+	// Observer receives the linearization-point callbacks (nil: none).
+	Observer Observer
+	// Stop, when non-nil, cancels the retry loop: once the channel is
+	// closed no further attempt begins and the call returns ErrStopped.
+	// A committed attempt is never undone — the stop takes effect
+	// between attempts only.
+	Stop <-chan struct{}
+	// Backoff is the retry-backoff policy (nil: the package default —
+	// DefaultBackoffCap, no bias).
+	Backoff *Backoff
+	// Proc is the zero-based process index selecting the caller's bias
+	// in the Backoff policy.
+	Proc int
+}
+
 // runAtomically is the retry/backoff loop shared by every algorithm:
 // begin an attempt, run the body, commit or back off and retry. With a
 // non-nil observer, every operation return and attempt outcome is
 // reported at its linearization point — these are the instrumentation
 // hooks behind ObservableTM.
-func runAtomically(c *counters, begin func() attempt, obs Observer, fn func(Txn) error) error {
+func runAtomically(c *counters, begin func() attempt, opts RunOpts, fn func(Txn) error) error {
+	obs := opts.Observer
+	bo := opts.Backoff
+	if bo == nil {
+		bo = defaultBackoff
+	}
 	for round := 0; ; round++ {
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				return ErrStopped
+			default:
+			}
+		}
 		tx := begin()
 		err := fn(observe(obs, tx))
 		if err == nil {
@@ -152,23 +186,7 @@ func runAtomically(c *counters, begin func() attempt, obs Observer, fn func(Txn)
 			}
 		}
 		c.aborts.Add(1)
-		backoff(round)
-	}
-}
-
-// backoff spins with exponentially growing bounds and yields the
-// processor once the bound saturates, so retry storms under heavy
-// contention do not starve the committer holding the locks.
-func backoff(round int) {
-	if round <= 0 {
-		return
-	}
-	if round > 10 {
-		runtime.Gosched()
-		round = 10
-	}
-	for i := 0; i < 1<<round; i++ {
-		spinHint()
+		bo.wait(opts.Proc, round)
 	}
 }
 

@@ -39,12 +39,17 @@ func (t *NOrec) Stats() Stats { return t.snapshot() }
 
 // Atomically implements TM.
 func (t *NOrec) Atomically(fn func(Txn) error) error {
-	return runAtomically(&t.counters, t.begin, nil, fn)
+	return runAtomically(&t.counters, t.begin, RunOpts{}, fn)
 }
 
 // AtomicallyObserved implements ObservableTM.
 func (t *NOrec) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
-	return runAtomically(&t.counters, t.begin, obs, fn)
+	return runAtomically(&t.counters, t.begin, RunOpts{Observer: obs}, fn)
+}
+
+// AtomicallyOpts implements ObservableTM.
+func (t *NOrec) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
+	return runAtomically(&t.counters, t.begin, opts, fn)
 }
 
 func (t *NOrec) begin() attempt {

@@ -35,13 +35,17 @@ type Observer interface {
 }
 
 // ObservableTM is implemented by the TMs of this package: Atomically
-// with linearization-point callbacks. A nil observer degrades to plain
-// Atomically.
+// with linearization-point callbacks and run control. A nil observer
+// (or a zero RunOpts) degrades to plain Atomically.
 type ObservableTM interface {
 	TM
 	// AtomicallyObserved is Atomically, reporting every operation and
 	// every attempt outcome to obs.
 	AtomicallyObserved(obs Observer, fn func(Txn) error) error
+	// AtomicallyOpts is Atomically under the given RunOpts: observed,
+	// cancellable between attempts (RunOpts.Stop, returning
+	// ErrStopped), and backing off under the supplied policy.
+	AtomicallyOpts(opts RunOpts, fn func(Txn) error) error
 }
 
 // AtomicallyObserved runs fn on tm like TM.Atomically while reporting

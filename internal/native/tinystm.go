@@ -32,12 +32,17 @@ func (t *TinySTM) Stats() Stats { return t.snapshot() }
 
 // Atomically implements TM.
 func (t *TinySTM) Atomically(fn func(Txn) error) error {
-	return runAtomically(&t.counters, t.begin, nil, fn)
+	return runAtomically(&t.counters, t.begin, RunOpts{}, fn)
 }
 
 // AtomicallyObserved implements ObservableTM.
 func (t *TinySTM) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
-	return runAtomically(&t.counters, t.begin, obs, fn)
+	return runAtomically(&t.counters, t.begin, RunOpts{Observer: obs}, fn)
+}
+
+// AtomicallyOpts implements ObservableTM.
+func (t *TinySTM) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
+	return runAtomically(&t.counters, t.begin, opts, fn)
 }
 
 func (t *TinySTM) begin() attempt {

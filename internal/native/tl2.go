@@ -30,12 +30,17 @@ func (t *TL2) Stats() Stats { return t.snapshot() }
 
 // Atomically implements TM.
 func (t *TL2) Atomically(fn func(Txn) error) error {
-	return runAtomically(&t.counters, t.begin, nil, fn)
+	return runAtomically(&t.counters, t.begin, RunOpts{}, fn)
 }
 
 // AtomicallyObserved implements ObservableTM.
 func (t *TL2) AtomicallyObserved(obs Observer, fn func(Txn) error) error {
-	return runAtomically(&t.counters, t.begin, obs, fn)
+	return runAtomically(&t.counters, t.begin, RunOpts{Observer: obs}, fn)
+}
+
+// AtomicallyOpts implements ObservableTM.
+func (t *TL2) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
+	return runAtomically(&t.counters, t.begin, opts, fn)
 }
 
 func (t *TL2) begin() attempt {

@@ -3,6 +3,7 @@ package record
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"livetm/internal/model"
 	"livetm/internal/native"
@@ -95,7 +96,7 @@ func TestMergePreservesGlobalOrder(t *testing.T) {
 			t.Fatalf("proc %d: %d events, want %d", p, len(proj), rounds*6)
 		}
 		// Per-process order must be exactly the logged order.
-		for i, s := range r.Log(model.Proc(p)).buf {
+		for i, s := range r.Log(model.Proc(p)).all() {
 			if proj[i] != s.ev {
 				t.Fatalf("proc %d event %d reordered: %s vs %s", p, i, proj[i], s.ev)
 			}
@@ -120,5 +121,165 @@ func TestTruncation(t *testing.T) {
 	}
 	if err := model.CheckWellFormed(h); err != nil {
 		t.Fatalf("truncated history malformed: %v\n%s", err, h)
+	}
+}
+
+// drain restores the recorded total order from the stream's slightly
+// reordered arrivals by sequence number.
+func drain(stream <-chan []Streamed) model.History {
+	pending := make(map[uint64]model.Event)
+	var h model.History
+	next := uint64(1)
+	for batch := range stream {
+		for _, s := range batch {
+			pending[s.Seq] = s.Ev
+		}
+		for {
+			ev, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			h = append(h, ev)
+		}
+	}
+	return h
+}
+
+// TestStreamMatchesHistory: the streamed events, reordered by
+// sequence number, are exactly the drained history. Run with -race.
+func TestStreamMatchesHistory(t *testing.T) {
+	const procs, rounds = 4, 300
+	r := NewWithOptions(procs, Options{CapacityHint: 16, StreamCapacity: 64})
+	var streamed model.History
+	got := make(chan model.History, 1)
+	go func() { got <- drain(r.Stream()) }()
+	var wg sync.WaitGroup
+	for p := 1; p <= procs; p++ {
+		l := r.Log(model.Proc(p))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				script(l, 0, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	r.CloseStream()
+	streamed = <-got
+	h := r.History()
+	if len(streamed) != len(h) {
+		t.Fatalf("streamed %d events, drained %d", len(streamed), len(h))
+	}
+	for i := range h {
+		if streamed[i] != h[i] {
+			t.Fatalf("event %d differs: streamed %s, drained %s", i, streamed[i], h[i])
+		}
+	}
+	if err := model.CheckWellFormed(streamed); err != nil {
+		t.Fatalf("streamed history malformed: %v", err)
+	}
+}
+
+// TestDropStreamedCapsChunks: in drop mode each process recycles one
+// ring chunk, so allocation stays capped no matter how many events
+// the run records, and History returns nil (the stream was the
+// record).
+func TestDropStreamedCapsChunks(t *testing.T) {
+	const procs = 2
+	r := NewWithOptions(procs, Options{CapacityHint: 8, StreamCapacity: 32, DropStreamed: true})
+	done := make(chan int, 1)
+	go func() {
+		n := 0
+		for batch := range r.Stream() {
+			n += len(batch)
+		}
+		done <- n
+	}()
+	var wg sync.WaitGroup
+	const rounds = 10000 // far beyond one chunk per process
+	for p := 1; p <= procs; p++ {
+		l := r.Log(model.Proc(p))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				script(l, 0, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	r.CloseStream()
+	if n := <-done; n != procs*rounds*6 {
+		t.Fatalf("streamed %d events, want %d", n, procs*rounds*6)
+	}
+	if got := r.Chunks(); got > procs {
+		t.Fatalf("drop mode allocated %d chunks, want <= %d (one ring chunk per process)", got, procs)
+	}
+	if r.Events() != procs*rounds*6 {
+		t.Fatalf("events = %d, want %d", r.Events(), procs*rounds*6)
+	}
+	if h := r.History(); h != nil {
+		t.Fatalf("drop mode retained %d events", len(h))
+	}
+}
+
+// TestRetainedChunksLinear: retained mode allocates chunks linearly in
+// the event count (no doubling waste) and drains the full history.
+func TestRetainedChunksLinear(t *testing.T) {
+	r := NewWithOptions(1, Options{CapacityHint: 8})
+	l := r.Log(1)
+	const rounds = 5000
+	for i := 0; i < rounds; i++ {
+		script(l, 0, int64(i))
+	}
+	events := rounds * 6
+	want := 1 + (events-8+chunkEvents-1)/chunkEvents // first hint-sized chunk, then full chunks
+	if got := r.Chunks(); got != want {
+		t.Fatalf("chunks = %d, want %d", got, want)
+	}
+	h := r.History()
+	if len(h) != events {
+		t.Fatalf("drained %d events, want %d", len(h), events)
+	}
+	if err := model.CheckWellFormed(h); err != nil {
+		t.Fatalf("malformed: %v", err)
+	}
+}
+
+// TestStreamStopUnblocks: a publisher blocked on a full stream whose
+// consumer departed is released by the stop signal and keeps
+// recording locally.
+func TestStreamStopUnblocks(t *testing.T) {
+	stop := make(chan struct{})
+	r := NewWithOptions(1, Options{CapacityHint: 8, StreamCapacity: 1, Stop: stop})
+	l := r.Log(1)
+	blocked := make(chan struct{})
+	go func() {
+		// The first transaction's batch fills the 1-slot channel, the
+		// second's flush blocks — nobody consumes.
+		script(l, 0, 0)
+		script(l, 0, 1)
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("publisher was not blocked by the full stream")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(stop)
+	select {
+	case <-blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stop did not unblock the publisher")
+	}
+	// Local recording continued past the muted stream.
+	if got := r.Events(); got != 12 {
+		t.Fatalf("events = %d, want 12", got)
+	}
+	if err := model.CheckWellFormed(r.History()); err != nil {
+		t.Fatalf("malformed: %v", err)
 	}
 }

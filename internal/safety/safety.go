@@ -24,7 +24,7 @@ package safety
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 
 	"livetm/internal/model"
@@ -271,19 +271,30 @@ func (s *searcher) reason() string {
 
 // memoKey canonically encodes a search state. Only committed writes are
 // in the snapshot, so two prefixes with the same placed set and the
-// same resulting state are interchangeable.
+// same resulting state are interchangeable. It sits on the innermost
+// loop of every serialization search (the live monitor pays it per
+// event), hence the hand-rolled formatting: insertion sort over the
+// handful of touched variables and strconv appends, no fmt machinery.
 func memoKey(placed uint64, state model.Snapshot) string {
 	vars := make([]model.TVar, 0, len(state))
 	for x := range state {
 		vars = append(vars, x)
 	}
-	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
-	var b strings.Builder
-	fmt.Fprintf(&b, "%x|", placed)
-	for _, x := range vars {
-		fmt.Fprintf(&b, "%d=%d,", x, state[x])
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j] < vars[j-1]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
 	}
-	return b.String()
+	buf := make([]byte, 0, 16+12*len(vars))
+	buf = strconv.AppendUint(buf, placed, 16)
+	buf = append(buf, '|')
+	for _, x := range vars {
+		buf = strconv.AppendInt(buf, int64(x), 10)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, int64(state[x]), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
 }
 
 // CheckOpacityNaive is CheckOpacity without incremental pruning:

@@ -33,6 +33,14 @@ type SegmentedResult struct {
 	// Reason explains the violation (the failing segment) when Holds
 	// is false.
 	Reason string
+	// Approx reports that the verdict was reached through forced
+	// serialization frontiers (the streaming checker's bounded-overlap
+	// fallback, see StreamChecker.WithApproxFallback): ordering
+	// constraints across a forced frontier were not searched, so the
+	// verdict is an explicit approximation, not a decision.
+	Approx bool
+	// ForcedCuts counts the forced frontiers the verdict rests on.
+	ForcedCuts int
 }
 
 // CheckOpacitySegmented decides opacity of a (possibly long) history
@@ -121,9 +129,22 @@ func segment(txns []*model.Transaction, max int) ([][]*model.Transaction, error)
 // reachable by legally serializing the segment from any of the given
 // start states.
 func feasibleFinals(seg []*model.Transaction, starts []model.Snapshot) ([]model.Snapshot, error) {
+	out, _, err := feasibleFinalsVisited(seg, starts, false)
+	return out, err
+}
+
+// feasibleFinalsVisited is feasibleFinals, optionally also collecting
+// every intermediate snapshot touched while enumerating the legal
+// serializations. The forced-frontier fallback propagates the visited
+// set instead of the finals: a transaction left open across the
+// frontier may have read a mid-segment value, which only an
+// intermediate snapshot explains. The visited set over-approximates
+// (it includes states of partial serializations that never complete),
+// which is exactly the direction an approximate verdict may err in.
+func feasibleFinalsVisited(seg []*model.Transaction, starts []model.Snapshot, wantVisited bool) (finals, visited []model.Snapshot, err error) {
 	n := len(seg)
 	if n > 64 {
-		return nil, ErrTooManyTransactions
+		return nil, nil, ErrTooManyTransactions
 	}
 	preds := make([]uint64, n)
 	for i, a := range seg {
@@ -133,16 +154,22 @@ func feasibleFinals(seg []*model.Transaction, starts []model.Snapshot) ([]model.
 			}
 		}
 	}
-	finals := make(map[string]model.Snapshot)
+	finalSet := make(map[string]model.Snapshot)
 	seen := make(map[string]bool)
+	var visitedSet map[string]model.Snapshot
+	if wantVisited {
+		visitedSet = make(map[string]model.Snapshot)
+	}
 	for _, start := range starts {
-		collectFinals(seg, preds, 0, start, finals, seen)
+		collectFinals(seg, preds, 0, start, finalSet, seen, visitedSet)
 	}
-	out := make([]model.Snapshot, 0, len(finals))
-	for _, s := range finals {
-		out = append(out, s)
+	for _, s := range finalSet {
+		finals = append(finals, s)
 	}
-	return out, nil
+	for _, s := range visitedSet {
+		visited = append(visited, s)
+	}
+	return finals, visited, nil
 }
 
 // collectFinals enumerates all legal linear extensions, recording the
@@ -151,12 +178,15 @@ func feasibleFinals(seg []*model.Transaction, starts []model.Snapshot) ([]model.
 // different snapshots — but segments are small by construction, and
 // (placed, state) pairs already explored are skipped: their reachable
 // finals were recorded on the first visit.
-func collectFinals(seg []*model.Transaction, preds []uint64, placed uint64, state model.Snapshot, finals map[string]model.Snapshot, seen map[string]bool) {
+func collectFinals(seg []*model.Transaction, preds []uint64, placed uint64, state model.Snapshot, finals map[string]model.Snapshot, seen map[string]bool, visited map[string]model.Snapshot) {
 	key := memoKey(placed, state)
 	if seen[key] {
 		return
 	}
 	seen[key] = true
+	if visited != nil {
+		visited[memoKey(0, state)] = state
+	}
 	if placed == uint64(1)<<uint(len(seg))-1 {
 		finals[memoKey(0, state)] = state
 		return
@@ -183,7 +213,7 @@ func collectFinals(seg []*model.Transaction, preds []uint64, placed uint64, stat
 					next.Apply(ws)
 				}
 			}
-			collectFinals(seg, preds, placed|bit, next, finals, seen)
+			collectFinals(seg, preds, placed|bit, next, finals, seen, visited)
 		}
 	}
 }

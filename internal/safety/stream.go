@@ -28,6 +28,19 @@ import (
 //
 // A violation is terminal: Feed reports it once, wrapped around
 // ErrStreamNotOpaque, and Finish keeps returning the failing verdict.
+//
+// A checker with WithApproxFallback set does not refuse cut-starved
+// streams: when the budget overflows with transactions still open, it
+// forces a serialization frontier — the completed transactions in the
+// buffer are checked and flushed as a segment even though open
+// transactions overlap the cut — and the verdict degrades to an
+// explicit approximation (SegmentedResult.Approx). Ordering
+// constraints between the flushed transactions and the still-open
+// ones are dropped at the frontier, so an approximate "holds" may
+// miss a violation that only a cross-frontier serialization exposes,
+// and an approximate violation may be a false alarm that a commit-
+// pending transaction's write would have legalized. Everything inside
+// one window is still searched exactly.
 type StreamChecker struct {
 	max      int
 	buf      model.History
@@ -37,6 +50,9 @@ type StreamChecker struct {
 	openTxn   map[model.Proc]bool
 	openCount int
 	txnsInBuf int // completed transactions in the buffer
+
+	approx bool // bounded-overlap fallback enabled
+	forced int  // forced frontiers taken
 
 	done   bool // violation or Finish reached
 	holds  bool
@@ -63,8 +79,26 @@ func NewStreamChecker(maxTxnsPerSegment int) (*StreamChecker, error) {
 	}, nil
 }
 
+// WithApproxFallback enables the bounded-overlap sliding-window
+// fallback: a cut-starved stretch is flushed at a forced serialization
+// frontier instead of refused with ErrNoQuiescentCut, and every
+// verdict from then on is marked approximate. The segment budget is
+// clamped to 63 so a forced window of budget+1 completed transactions
+// stays inside the 64-transaction search cap. Returns c.
+func (c *StreamChecker) WithApproxFallback() *StreamChecker {
+	c.approx = true
+	if c.max > 63 {
+		c.max = 63
+	}
+	return c
+}
+
 // Segments returns the number of segments checked so far.
 func (c *StreamChecker) Segments() int { return c.segments }
+
+// ForcedCuts returns the number of forced serialization frontiers
+// taken so far (always 0 without WithApproxFallback).
+func (c *StreamChecker) ForcedCuts() int { return c.forced }
 
 // Buffered returns the number of events currently buffered.
 func (c *StreamChecker) Buffered() int { return len(c.buf) }
@@ -99,13 +133,71 @@ func (c *StreamChecker) Feed(e model.Event) error {
 	// completed transactions is refused even if its last event happens
 	// to quiesce the buffer, matching CheckOpacitySegmented's "at most
 	// max per segment" and keeping every feasibleFinals call within
-	// the 64-transaction search cap.
+	// the 64-transaction search cap. With the fallback enabled the
+	// stretch is flushed at a forced frontier instead.
 	if c.txnsInBuf > c.max {
-		return fmt.Errorf("%w: %d concurrent transactions without a quiescent point", ErrNoQuiescentCut, c.txnsInBuf)
+		if !c.approx {
+			return fmt.Errorf("%w: %d concurrent transactions without a quiescent point", ErrNoQuiescentCut, c.txnsInBuf)
+		}
+		return c.forceFlush()
 	}
 	if c.openCount == 0 && c.txnsInBuf > 0 {
 		return c.flush()
 	}
+	return nil
+}
+
+// forceFlush is the bounded-overlap fallback: the completed
+// transactions in the buffer are checked and discarded as one segment
+// at a frontier that open transactions still straddle. The events of
+// open transactions stay buffered — each process's remaining
+// subsequence is intact, so the buffer stays a well-formed history —
+// and every later verdict is approximate.
+func (c *StreamChecker) forceFlush() error {
+	txns, err := model.Transactions(c.buf)
+	if err != nil {
+		return fmt.Errorf("streaming opacity: %w", err)
+	}
+	keepFrom := make(map[model.Proc]int, c.openCount)
+	for _, t := range txns {
+		if t.Status == model.Live {
+			// A process's live transaction is its last; everything of
+			// that process from its first event on stays buffered.
+			keepFrom[t.Proc] = t.First
+		}
+	}
+	seg := make(model.History, 0, len(c.buf))
+	kept := make(model.History, 0, len(c.buf))
+	for i, e := range c.buf {
+		if from, ok := keepFrom[e.Proc]; ok && i >= from {
+			kept = append(kept, e)
+		} else {
+			seg = append(seg, e)
+		}
+	}
+	c.forced++
+	txns, err = model.Transactions(seg)
+	if err != nil {
+		return fmt.Errorf("streaming opacity: %w", err)
+	}
+	c.segments++
+	// Propagate every snapshot touched while serializing the flushed
+	// transactions, not just the finals: a transaction left open across
+	// the frontier may have read a mid-segment value, and judging it
+	// later against final states only would be a false alarm.
+	finals, visited, err := feasibleFinalsVisited(txns, c.states, true)
+	if err != nil {
+		return err
+	}
+	if len(finals) == 0 {
+		c.done, c.holds = true, false
+		c.reason = fmt.Sprintf("forced segment %d (transactions %s..%s) admits no legal serialization from any feasible predecessor state (approximate: at forced frontier %d)",
+			c.segments, txns[0].ID(), txns[len(txns)-1].ID(), c.forced)
+		return fmt.Errorf("%w: %s", ErrStreamNotOpaque, c.reason)
+	}
+	c.states = visited
+	c.buf = kept
+	c.txnsInBuf = 0
 	return nil
 }
 
@@ -155,7 +247,7 @@ func (c *StreamChecker) checkSegment(seg model.History) ([]model.Snapshot, strin
 // Finish is terminal; the checker cannot be fed afterwards.
 func (c *StreamChecker) Finish() (SegmentedResult, error) {
 	if c.done {
-		return SegmentedResult{Holds: c.holds, Segments: c.segments, Reason: c.reason}, nil
+		return c.result(), nil
 	}
 	c.done = true
 	next, violation, err := c.checkSegment(c.buf)
@@ -165,9 +257,24 @@ func (c *StreamChecker) Finish() (SegmentedResult, error) {
 	c.buf = nil
 	if violation != "" {
 		c.holds, c.reason = false, violation
+		if c.forced > 0 {
+			c.reason = fmt.Sprintf("%s (approximate: after %d forced frontiers)", violation, c.forced)
+		}
 	} else {
 		c.holds = true
 		c.states = next
 	}
-	return SegmentedResult{Holds: c.holds, Segments: c.segments, Reason: c.reason}, nil
+	return c.result(), nil
+}
+
+// result snapshots the terminal verdict, marking it approximate when
+// any forced frontier contributed to it.
+func (c *StreamChecker) result() SegmentedResult {
+	return SegmentedResult{
+		Holds:      c.holds,
+		Segments:   c.segments,
+		Reason:     c.reason,
+		Approx:     c.forced > 0,
+		ForcedCuts: c.forced,
+	}
 }

@@ -232,3 +232,132 @@ func TestStreamNoCut(t *testing.T) {
 		t.Errorf("read-only concurrent transactions are opaque: %s", res.Reason)
 	}
 }
+
+// TestStreamApproxFallbackDecides: a cut-starved stream the strict
+// checker refuses degrades to an explicit approximate verdict with
+// the bounded-overlap fallback enabled.
+func TestStreamApproxFallbackDecides(t *testing.T) {
+	// Process 1 opens a transaction and never completes it, so no
+	// quiescent cut ever forms; process 2 runs a long sequential
+	// counter chain underneath.
+	b := model.NewBuilder()
+	b.Raw(model.Read(1, 1), model.ValueResp(1, 0)) // stays open forever
+	for i := 0; i < 40; i++ {
+		b.Read(2, 0, model.Value(i)).Write(2, 0, model.Value(i+1)).Commit(2)
+	}
+	h := b.History()
+
+	if _, err := feedAll(t, h, 4); !errors.Is(err, ErrNoQuiescentCut) {
+		t.Fatalf("strict checker: err = %v, want ErrNoQuiescentCut", err)
+	}
+
+	c, err := NewStreamChecker(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WithApproxFallback()
+	maxBuffered := 0
+	for _, e := range h {
+		if err := c.Feed(e); err != nil {
+			t.Fatalf("approx checker refused: %v", err)
+		}
+		if c.Buffered() > maxBuffered {
+			maxBuffered = c.Buffered()
+		}
+	}
+	res, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("opaque cut-starved stream judged violating: %s", res.Reason)
+	}
+	if !res.Approx || res.ForcedCuts == 0 {
+		t.Fatalf("verdict not marked approximate: %+v", res)
+	}
+	// Memory stays bounded by the window even without quiescent cuts:
+	// 5 completed transactions x 6 events plus the open straggler.
+	if maxBuffered > 5*6+2 {
+		t.Errorf("buffer grew to %d events despite forced frontiers", maxBuffered)
+	}
+}
+
+// TestStreamApproxFallbackViolation: the fallback still catches a
+// violation inside one window, reported as an approximate verdict.
+func TestStreamApproxFallbackViolation(t *testing.T) {
+	b := model.NewBuilder()
+	b.Raw(model.Read(1, 1), model.ValueResp(1, 0)) // cut starver
+	for i := 0; i < 6; i++ {
+		b.Read(2, 0, model.Value(i)).Write(2, 0, model.Value(i+1)).Commit(2)
+	}
+	b.Read(3, 0, 99).Commit(3) // unexplained value
+	for i := 6; i < 12; i++ {
+		b.Read(2, 0, model.Value(i)).Write(2, 0, model.Value(i+1)).Commit(2)
+	}
+	c, err := NewStreamChecker(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WithApproxFallback()
+	var feedErr error
+	for _, e := range b.History() {
+		if feedErr = c.Feed(e); feedErr != nil {
+			break
+		}
+	}
+	if !errors.Is(feedErr, ErrStreamNotOpaque) {
+		t.Fatalf("err = %v, want ErrStreamNotOpaque", feedErr)
+	}
+	res, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("violation lost")
+	}
+	if !res.Approx {
+		t.Fatalf("forced-frontier violation not marked approximate: %+v", res)
+	}
+}
+
+// Property: with the fallback enabled the checker never refuses a
+// stream for lack of cuts, and whenever it decides without taking a
+// forced frontier it agrees with the monolithic checker exactly.
+func TestStreamApproxNeverRefuses(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := genHistory(raw)
+		mono, err := CheckOpacity(h)
+		if err != nil {
+			return true
+		}
+		c, err := NewStreamChecker(4)
+		if err != nil {
+			return false
+		}
+		c.WithApproxFallback()
+		var streamErr error
+		for _, e := range h {
+			if streamErr = c.Feed(e); streamErr != nil {
+				break
+			}
+		}
+		var res SegmentedResult
+		if streamErr == nil {
+			res, streamErr = c.Finish()
+		}
+		switch {
+		case errors.Is(streamErr, ErrNoQuiescentCut):
+			return false // the fallback's whole point
+		case errors.Is(streamErr, ErrStreamNotOpaque):
+			res, _ = c.Finish()
+			return res.Approx || !mono.Holds
+		case streamErr != nil:
+			return false
+		default:
+			return res.Approx || res.Holds == mono.Holds
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

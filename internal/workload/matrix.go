@@ -174,6 +174,25 @@ type Result struct {
 	// failure aborts the matrix instead of landing here as false.
 	Recorded bool `json:"recorded,omitempty"`
 	Checked  bool `json:"checked,omitempty"`
+	// Live reports the cell ran under the in-process monitor
+	// (Options.Live): events streamed into the checker mid-run, with
+	// starvation-aware backoff feedback active.
+	Live bool `json:"live,omitempty"`
+	// LivenessClass is the strongest liveness-lattice property the
+	// live monitor's lasso reading of the cell satisfied ("local
+	// progress" … "none"); empty for non-live cells.
+	LivenessClass string `json:"liveness_class,omitempty"`
+	// ApproxVerdict marks a Checked verdict that rests on forced
+	// serialization frontiers (the cut-starved fallback) rather than
+	// exact quiescent cuts.
+	ApproxVerdict bool `json:"approx_verdict,omitempty"`
+	// RecorderOverhead is the cell's recorded-vs-plain slowdown ratio
+	// (recorded elapsed / unrecorded elapsed for the same budget),
+	// measured when Options.Overhead is set; 0 otherwise.
+	RecorderOverhead float64 `json:"recorder_overhead,omitempty"`
+	// BackoffCap is the native retry loop's spin-shift ceiling for the
+	// cell — the dynamic range starvation-aware backoff operated in.
+	BackoffCap int `json:"backoff_cap,omitempty"`
 }
 
 // Options selects the optional record/check path of a matrix run.
@@ -194,6 +213,18 @@ type Options struct {
 	// defaults to 4; a negative value disables the rendezvous (cells
 	// then usually come back undecided under Check).
 	QuiesceEvery int
+	// Live runs native cells under the in-process monitor: events
+	// stream into the checker while the cell executes, a violation
+	// stops the cell mid-flight (failing the matrix), and measured
+	// starvation rebiases the retry backoff. Live cells report their
+	// liveness class, and under Check their verdict comes from the
+	// live monitor itself rather than a post-hoc replay. Simulated
+	// cells are unaffected (their substrate rejects Live).
+	Live bool
+	// Overhead measures each native cell's recording cost: the cell is
+	// rerun with recording and monitoring off and the elapsed-time
+	// ratio lands in Result.RecorderOverhead.
+	Overhead bool
 }
 
 func (o Options) withDefaults() Options {
@@ -243,37 +274,84 @@ func RunMatrixOptions(engines []engine.Engine, specs []Spec, budget Budget, opts
 					cfg.QuiesceEvery = opts.QuiesceEvery
 				}
 			}
+			live := opts.Live && caps.Substrate == engine.Native && caps.HistoryRecording
+			if live {
+				cfg.Live = true
+				if opts.QuiesceEvery == 0 {
+					// The user disabled the rendezvous; tell the engine
+					// explicitly or it would substitute its live default.
+					cfg.QuiesceEvery = -1
+				} else {
+					cfg.QuiesceEvery = opts.QuiesceEvery
+				}
+			}
 			start := time.Now()
 			st, err := e.Run(cfg, spec.Body())
 			if err != nil {
 				return out, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
 			}
 			elapsed := time.Since(start).Seconds()
+			runElapsed := elapsed // before any post-hoc check time
 			r := Result{
-				Engine:    e.Name(),
-				Algorithm: e.Algorithm(),
-				Substrate: string(caps.Substrate),
-				Workload:  spec.Name,
-				Procs:     spec.Procs,
-				Vars:      spec.Vars,
-				Commits:   st.Commits,
-				Aborts:    st.Aborts,
-				AbortRate: st.AbortRate(),
-				Recorded:  st.History != nil,
+				Engine:     e.Name(),
+				Algorithm:  e.Algorithm(),
+				Substrate:  string(caps.Substrate),
+				Workload:   spec.Name,
+				Procs:      spec.Procs,
+				Vars:       spec.Vars,
+				Commits:    st.Commits,
+				Aborts:     st.Aborts,
+				AbortRate:  st.AbortRate(),
+				Recorded:   st.History != nil,
+				Live:       live,
+				BackoffCap: st.BackoffCap,
+			}
+			if live && st.Live != nil {
+				r.LivenessClass = st.Live.LivenessClass()
+				r.ApproxVerdict = st.Live.Opacity.Approx
+				if opts.Check {
+					// The live monitor already checked the cell as it
+					// ran — a violation would have stopped it and failed
+					// the matrix above — so its verdict is the cell's.
+					r.Checked = st.Live.Checked && st.Live.Opacity.Holds
+				}
+			} else if opts.Check && r.Recorded {
+				// The post-hoc verification is part of the cell's
+				// checked-throughput figure: the live path pays its
+				// checker inside the run (overlapped on other cores), so
+				// the replayed check must stay on the clock too or the
+				// two would not be comparable.
+				t0 := time.Now()
+				checked, err := checkCell(st.History, opts)
+				if err != nil {
+					return out, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
+				}
+				r.Checked = checked
+				elapsed += time.Since(t0).Seconds()
 			}
 			if caps.Substrate == engine.Simulated {
 				if st.Steps > 0 {
 					r.CommitsPerStep = float64(st.Commits) / float64(st.Steps)
 				}
 			} else if elapsed > 0 {
+				// Checked-throughput when the cell was checked (live or
+				// post-hoc), raw throughput otherwise.
 				r.OpsPerSec = float64(st.Commits) / elapsed
 			}
-			if opts.Check && r.Recorded {
-				checked, err := checkCell(st.History, opts)
-				if err != nil {
-					return out, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
+			if opts.Overhead && caps.Substrate == engine.Native && (cfg.Record || cfg.Live) {
+				plain := cfg
+				plain.Record, plain.Live, plain.QuiesceEvery = false, false, 0
+				t0 := time.Now()
+				if _, err := e.Run(plain, spec.Body()); err != nil {
+					return out, fmt.Errorf("workload %s on %s (overhead baseline): %w", spec.Name, e.Name(), err)
 				}
-				r.Checked = checked
+				// The numerator is the cell's run time only — a live
+				// run's overlapped monitoring is inherently inside it, a
+				// post-hoc check deliberately is not (that cost lands in
+				// the checked-throughput OpsPerSec instead).
+				if base := time.Since(t0).Seconds(); base > 0 {
+					r.RecorderOverhead = runElapsed / base
+				}
 			}
 			out = append(out, r)
 		}
@@ -319,8 +397,11 @@ type Artifact struct {
 	Results []Result `json:"results"`
 }
 
-// ArtifactSchema versions the artifact layout.
-const ArtifactSchema = "livetm/workload-matrix/v1"
+// ArtifactSchema versions the artifact layout. v2 adds the per-cell
+// live/checked flags, liveness class, approx-verdict marker, recorder
+// overhead ratio and backoff cap, so the BENCH trajectory can compare
+// checked-throughput — not just raw throughput — across PRs.
+const ArtifactSchema = "livetm/workload-matrix/v2"
 
 // WriteArtifact writes the result cells and the budget they were
 // measured under as a JSON artifact.
@@ -332,10 +413,23 @@ func WriteArtifact(path string, budget Budget, results []Result) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// FormatResults renders the cells as an aligned text table.
+// FormatResults renders the cells as an aligned text table. The class
+// column appears once any cell carries a liveness classification or an
+// overhead figure (live/overhead matrix runs).
 func FormatResults(results []Result) string {
-	out := fmt.Sprintf("%-16s %-24s %10s %10s %7s %12s %14s\n",
+	classes := false
+	for _, r := range results {
+		if r.LivenessClass != "" || r.RecorderOverhead > 0 {
+			classes = true
+			break
+		}
+	}
+	out := fmt.Sprintf("%-16s %-24s %10s %10s %7s %12s %14s",
 		"engine", "workload", "commits", "aborts", "abrt%", "ops/sec", "commits/step")
+	if classes {
+		out += fmt.Sprintf(" %-18s %8s", "liveness", "rec-ovh")
+	}
+	out += "\n"
 	for _, r := range results {
 		rate := ""
 		if r.OpsPerSec > 0 {
@@ -349,8 +443,22 @@ func FormatResults(results []Result) string {
 		} else {
 			cps = fmt.Sprintf("%14s", "-")
 		}
-		out += fmt.Sprintf("%-16s %-24s %10d %10d %6.1f%% %s %s\n",
+		out += fmt.Sprintf("%-16s %-24s %10d %10d %6.1f%% %s %s",
 			r.Engine, r.Workload, r.Commits, r.Aborts, 100*r.AbortRate, rate, cps)
+		if classes {
+			class := r.LivenessClass
+			if class == "" {
+				class = "-"
+			} else if r.ApproxVerdict {
+				class += "~"
+			}
+			ovh := "-"
+			if r.RecorderOverhead > 0 {
+				ovh = fmt.Sprintf("%.2fx", r.RecorderOverhead)
+			}
+			out += fmt.Sprintf(" %-18s %8s", class, ovh)
+		}
+		out += "\n"
 	}
 	return out
 }
