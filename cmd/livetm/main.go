@@ -16,9 +16,17 @@
 //	    Prints the monitor report and liveness class; -live=false
 //	    degrades to a plain recorded run (like `livetm record`).
 //
-//	livetm adversary -tm NAME [-alg 1|2] [-crash] [-parasitic] [-rounds N] [-out FILE]
+//	livetm adversary [-tm NAME | -engine NAME | -matrix] [-alg 1|2] [-crash] [-parasitic] [-rounds N] [-out FILE] [-artifact FILE]
 //	    Run the Theorem 1 environment strategy against a TM and print
-//	    the resulting history suffix (Figures 9, 10, 12, 13).
+//	    the resulting history suffix (Figures 9, 10, 12, 13). -tm picks
+//	    a simulated TM; -engine picks a registry engine on either
+//	    substrate ("native-tl2" drives the strategy against the real
+//	    goroutines through the linearization-point hooks, streaming the
+//	    run through the online monitor); -matrix runs every strategy
+//	    variant against every native algorithm and its simulated
+//	    counterpart, printing the cross-substrate starvation comparison
+//	    and optionally writing it as the -artifact JSON (the adversary
+//	    analogue of BENCH_native.json).
 //
 //	livetm check -file FILE
 //	    Load a JSON Lines trace ("-" reads stdin) and decide opacity
@@ -104,6 +112,7 @@ import (
 	"livetm/internal/liveness"
 	"livetm/internal/model"
 	"livetm/internal/monitor"
+	"livetm/internal/native"
 	"livetm/internal/safety"
 	"livetm/internal/sim"
 	"livetm/internal/stm"
@@ -284,21 +293,68 @@ func cmdClassify(args []string) error {
 
 func cmdAdversary(args []string) error {
 	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
-	tmName := fs.String("tm", "dstm", "TM implementation (see `livetm tms`)")
+	tmName := fs.String("tm", "dstm", "simulated TM implementation (see `livetm tms`)")
+	engineName := fs.String("engine", "", "registry engine to drive instead of -tm (see `livetm engines`; native engines run the real-concurrency driver)")
+	matrix := fs.Bool("matrix", false, "run every strategy variant against every native algorithm and its simulated counterpart")
 	alg := fs.Int("alg", 1, "strategy: 1 (parasitic-free case) or 2 (crash-free case)")
 	crash := fs.Bool("crash", false, "crash p1 after its first read (Figure 9; algorithm 1)")
 	parasitic := fs.Bool("parasitic", false, "make p1 parasitic (Figure 12; algorithm 2)")
 	rounds := fs.Int("rounds", 10, "p2 commits before stopping")
 	tail := fs.Int("tail", 48, "events of the history suffix to print")
 	out := fs.String("out", "", "write the full history as a JSON Lines trace file")
+	artifact := fs.String("artifact", "", "with -matrix: write the cross-substrate starvation comparison as a JSON artifact")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	cfg := adversary.Config{Rounds: *rounds, CrashP1AfterRead: *crash, ParasiticP1: *parasitic, Seed: 3}
+	if *matrix {
+		// Flags the matrix runs all combinations of (or cannot honour)
+		// are rejected, not silently dropped.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "tm", "engine", "alg", "crash", "parasitic", "tail", "out":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("adversary: %s cannot be combined with -matrix (it runs every strategy variant against every engine)", strings.Join(conflict, ", "))
+		}
+		cells, err := adversary.RunMatrix(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(adversary.FormatCells(cells))
+		for _, c := range cells {
+			if !c.Dichotomy() {
+				return fmt.Errorf("%s on %s: p1 committed — safety or strategy violation", c.Strategy, c.Engine)
+			}
+		}
+		if *artifact != "" {
+			if err := adversary.WriteStarvationArtifact(*artifact, *rounds, cells); err != nil {
+				return err
+			}
+			fmt.Printf("starvation artifact written to %s (%d cells)\n", *artifact, len(cells))
+		}
+		return nil
+	}
+	if *artifact != "" {
+		return fmt.Errorf("adversary: -artifact needs -matrix")
+	}
+	if *engineName != "" && strings.HasPrefix(*engineName, "native-") {
+		return adversaryNative(*engineName, *alg, cfg, *tail, *out)
+	}
+	if *engineName != "" {
+		name, ok := strings.CutPrefix(*engineName, "sim-")
+		if !ok {
+			return fmt.Errorf("adversary: engine %q is neither native-* nor sim-*", *engineName)
+		}
+		*tmName = name
 	}
 	nf, ok := core.Lookup(*tmName)
 	if !ok {
 		return fmt.Errorf("unknown TM %q", *tmName)
 	}
-	cfg := adversary.Config{Rounds: *rounds, CrashP1AfterRead: *crash, ParasiticP1: *parasitic, Seed: 3}
 	var res adversary.Result
 	switch *alg {
 	case 1:
@@ -324,6 +380,60 @@ func cmdAdversary(args []string) error {
 			return err
 		}
 		fmt.Printf("trace written to %s (%d events)\n", *out, len(res.History))
+	}
+	if res.P1Committed {
+		return fmt.Errorf("p1 committed: safety or strategy violation")
+	}
+	return nil
+}
+
+// adversaryNative drives one strategy against a native engine through
+// the real-concurrency driver and prints the monitor's starvation
+// harvest alongside the history suffix.
+func adversaryNative(engineName string, alg int, cfg adversary.Config, tail int, out string) error {
+	var info native.Info
+	found := false
+	for _, i := range native.Algorithms() {
+		if i.Name == engineName {
+			info, found = i, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown native engine %q (see `livetm engines`)", engineName)
+	}
+	if alg != 1 && alg != 2 {
+		return fmt.Errorf("alg must be 1 or 2")
+	}
+	s := adversary.Strategy{Algorithm: alg, Crash: cfg.CrashP1AfterRead, Parasitic: cfg.ParasiticP1}
+	res, err := adversary.RunNative(info, s, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adversary %s vs %s: rounds=%d p1Committed=%v blocked=%v\n",
+		s.Name(), info.Name, res.Rounds, res.P1Committed, res.Blocked)
+	fmt.Printf("tm stats: commits=%d aborts=%d   backoff bias=%v (over %d rebias snapshots)\n",
+		res.TMStats.Commits, res.TMStats.Aborts, res.BackoffBias, len(res.BiasTrajectory))
+	fmt.Print(res.Report.Format())
+	fmt.Printf("  liveness class: %s\n", res.Report.LivenessClass())
+	intervals := res.Report.StarvationIntervals()
+	for _, p := range res.Report.Procs {
+		fmt.Printf("  p%d starvation intervals: %v\n", p.Proc, intervals[p.Proc])
+	}
+	h := res.History
+	if len(h) > tail {
+		fmt.Printf("history suffix (last %d of %d events):\n", tail, len(h))
+		h = h[len(h)-tail:]
+	}
+	fmt.Print(trace.Render(h))
+	if out != "" {
+		if err := model.SaveTrace(out, res.History); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d events)\n", out, len(res.History))
+	}
+	if res.Violation != nil {
+		return fmt.Errorf("monitor found a safety violation: %w", res.Violation)
 	}
 	if res.P1Committed {
 		return fmt.Errorf("p1 committed: safety or strategy violation")

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"livetm/internal/adversary"
 	"livetm/internal/workload"
 )
 
@@ -45,6 +46,51 @@ func TestCmdAdversary(t *testing.T) {
 	}
 	if err := run([]string{"adversary", "-tm", "dstm", "-alg", "9"}); err == nil {
 		t.Error("invalid algorithm must error")
+	}
+}
+
+func TestCmdAdversaryNativeEngine(t *testing.T) {
+	if err := run([]string{"adversary", "-engine", "native-tl2", "-alg", "2", "-rounds", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// A sim engine name routes to the simulated driver for the same
+	// algorithm.
+	if err := run([]string{"adversary", "-engine", "sim-tl2", "-rounds", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"adversary", "-engine", "native-nope", "-rounds", "2"}); err == nil {
+		t.Error("unknown native engine must error")
+	}
+	if err := run([]string{"adversary", "-engine", "bogus", "-rounds", "2"}); err == nil {
+		t.Error("an engine name without a substrate prefix must error")
+	}
+	if err := run([]string{"adversary", "-artifact", "x.json"}); err == nil {
+		t.Error("-artifact without -matrix must error")
+	}
+	if err := run([]string{"adversary", "-matrix", "-alg", "2", "-rounds", "2"}); err == nil {
+		t.Error("-matrix runs every variant; combining it with -alg must error")
+	}
+	if err := run([]string{"adversary", "-matrix", "-out", "x.jsonl", "-rounds", "2"}); err == nil {
+		t.Error("-matrix cannot honour -out and must error")
+	}
+}
+
+func TestCmdAdversaryMatrixArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "starvation.json")
+	if err := run([]string{"adversary", "-matrix", "-rounds", "2", "-artifact", path}); err != nil {
+		t.Fatal(err)
+	}
+	art, err := adversary.LoadStarvationArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Cells) == 0 || art.Rounds != 2 {
+		t.Errorf("artifact rounds=%d cells=%d", art.Rounds, len(art.Cells))
+	}
+	for _, c := range art.Cells {
+		if c.Substrate != "sim" && c.Substrate != "native" {
+			t.Errorf("cell %s/%s has substrate %q", c.Strategy, c.Engine, c.Substrate)
+		}
 	}
 }
 

@@ -32,6 +32,19 @@
 // overhead in the schema-v2 artifact); see internal/engine's package
 // documentation for when to use which substrate.
 //
+// The impossibility adversaries are substrate-agnostic too: the
+// strategy logic of Algorithms 1 and 2 (internal/adversary) runs once
+// against a driver interface, with a simulated backend stepping the
+// deterministic scheduler and a native backend gating two real
+// goroutines through the linearization-point hooks while the monitor
+// watches the stream. `livetm adversary -engine native-tl2` starves a
+// production-style TM live; `livetm adversary -matrix` runs every
+// strategy variant against every native algorithm and its simulated
+// counterpart and writes the cross-substrate starvation-comparison
+// artifact (rounds-to-first-starvation, starvation-interval
+// distributions, backoff-bias trajectories) alongside
+// BENCH_native.json.
+//
 // The implementation lives under internal/; see README.md for the
 // architecture, cmd/figures and cmd/livetm for the experiment
 // drivers, and bench_test.go in this directory for the benchmark

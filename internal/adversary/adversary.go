@@ -11,9 +11,25 @@
 // a violation of local progress: either p1 starves while p2 commits
 // forever, or the TM blocks and nobody commits — which violates local
 // progress too.
+//
+// The strategy logic is substrate-agnostic: drive executes Algorithms
+// 1 and 2 once, against the Driver interface, and two backends supply
+// the per-process actions. SimDriver steps the two processes under the
+// deterministic cooperative scheduler of internal/sim (the original
+// proof-checking vehicle, kept reproducible by seed). NativeDriver
+// gates two real goroutines through internal/native's
+// linearization-point hooks (RunOpts{Observer, Stop, Backoff, Proc}),
+// streams the recorded events through the online monitor while the run
+// executes, and harvests per-process starvation intervals, liveness
+// classes and the backoff-bias trajectory — so the same strategies
+// that prove the impossibility also measure how the five
+// production-style native TMs starve in real concurrency, and RunMatrix
+// compares the two substrates cell by cell.
 package adversary
 
 import (
+	"time"
+
 	"livetm/internal/model"
 	"livetm/internal/sim"
 	"livetm/internal/stm"
@@ -28,12 +44,22 @@ type Config struct {
 	// (the adversary could go on forever; a run is a finite sample of
 	// the infinite history).
 	Rounds int
-	// MaxSteps bounds the scheduler steps so runs against blocking
-	// TMs terminate.
+	// MaxSteps bounds the scheduler steps so simulated runs against
+	// blocking TMs terminate. The default scales with Rounds (2000
+	// steps per round, at least 20000) so a long run does not exhaust
+	// the budget mid-matrix and misreport a live TM as blocking.
 	MaxSteps int
-	// Seed drives the scheduler for the phases where both processes
-	// are runnable.
+	// Seed drives the simulated scheduler for the phases where both
+	// processes are runnable (ignored by the native driver, whose
+	// interleavings come from the hardware).
 	Seed uint64
+	// BlockTimeout is the native driver's per-action budget: an action
+	// still pending after it reports Blocked — the TM parked a process,
+	// which on this substrate only a wall clock can detect. Defaults to
+	// 500ms (generous: a gated handoff takes microseconds, so the
+	// timeout only has to outlast scheduler stalls on loaded machines);
+	// the simulated driver uses MaxSteps instead.
+	BlockTimeout time.Duration
 	// CrashP1AfterRead crashes p1 right after its first successful
 	// Step-1 read (the Figure 9 variant of Algorithm 1).
 	CrashP1AfterRead bool
@@ -48,35 +74,39 @@ func (c Config) withDefaults() Config {
 		c.Rounds = 20
 	}
 	if c.MaxSteps == 0 {
-		c.MaxSteps = 20000
+		c.MaxSteps = 2000 * c.Rounds
+		if c.MaxSteps < 20000 {
+			c.MaxSteps = 20000
+		}
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.BlockTimeout == 0 {
+		c.BlockTimeout = 500 * time.Millisecond
+	}
 	return c
 }
 
-// Result reports what the adversary achieved.
+// strategy derives the Strategy the legacy Config flags select for the
+// given algorithm.
+func (c Config) strategy(alg int) Strategy {
+	return Strategy{Algorithm: alg, Crash: c.CrashP1AfterRead, Parasitic: c.ParasiticP1}
+}
+
+// Result reports what the adversary achieved on the simulated
+// substrate.
 type Result struct {
+	// Outcome carries the substrate-independent figures: Rounds,
+	// P1Committed, Blocked.
+	Outcome
 	// History is the recorded history of the run.
 	History model.History
 	// Stats summarizes commits/aborts per process.
 	Stats stm.Stats
-	// Rounds is the number of completed p2 commits.
-	Rounds int
-	// P1Committed reports whether p1 ever committed. Against an
-	// opaque TM this must be false (Theorem 1); true means the run
-	// found a safety violation.
-	P1Committed bool
 	// Steps is the number of scheduler steps consumed.
 	Steps int
 }
-
-// LocalProgressViolated reports whether the sampled run is consistent
-// with a violation of local progress: p1 never committed. (In the
-// infinite continuation p1 is correct — it is aborted or retries
-// forever — yet pending.)
-func (r Result) LocalProgressViolated() bool { return !r.P1Committed }
 
 // Algorithm1 runs the parasitic-free-case strategy (§4, Algorithm 1)
 // against a fresh TM from the factory:
@@ -92,92 +122,7 @@ func (r Result) LocalProgressViolated() bool { return !r.P1Committed }
 // aborted infinitely often (Figure 10).
 func Algorithm1(factory stm.Factory, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	rec := stm.NewRecorder(factory(2, 1))
-	s := sim.New(sim.NewSeeded(cfg.Seed))
-	defer s.Close()
-
-	// Shared state of the strategy state machine. All accesses happen
-	// under the cooperative scheduler, so there are no data races.
-	const (
-		phaseP1Read = iota + 1
-		phaseP2Commit
-		phaseP1Finish
-	)
-	phase := phaseP1Read
-	var (
-		p1Val       model.Value
-		p1HasRead   bool
-		rounds      int
-		p1Committed bool
-	)
-
-	_ = s.Spawn(1, func(env *sim.Env) {
-		for {
-			for phase != phaseP1Read {
-				env.Yield()
-			}
-			v, st := rec.Read(env, X)
-			p1Val, p1HasRead = v, st == stm.OK
-			phase = phaseP2Commit
-			if cfg.CrashP1AfterRead && p1HasRead {
-				// Figure 9: p1 stops taking steps forever. The crash
-				// is effected by the driver below; from p1's side we
-				// just stop issuing operations.
-				for {
-					env.Yield()
-				}
-			}
-			for phase != phaseP1Finish {
-				env.Yield()
-			}
-			if p1HasRead {
-				if rec.Write(env, X, p1Val+1) == stm.OK {
-					if rec.TryCommit(env) == stm.OK {
-						p1Committed = true
-						phase = phaseP1Read
-						return
-					}
-				}
-			}
-			phase = phaseP1Read
-		}
-	})
-	_ = s.Spawn(2, func(env *sim.Env) {
-		for {
-			for phase != phaseP2Commit {
-				env.Yield()
-			}
-			v, st := rec.Read(env, X)
-			if st != stm.OK {
-				continue
-			}
-			if rec.Write(env, X, v+1) != stm.OK {
-				continue
-			}
-			if rec.TryCommit(env) != stm.OK {
-				continue
-			}
-			rounds++
-			phase = phaseP1Finish
-		}
-	})
-
-	for s.Steps() < cfg.MaxSteps && rounds < cfg.Rounds && !p1Committed {
-		if cfg.CrashP1AfterRead {
-			if phase != phaseP1Read && !s.Crashed(1) {
-				s.Crash(1)
-			}
-			// With p1 crashed, Step 3 never happens: p2 runs alone,
-			// round after round (Figure 9's suffix).
-			if s.Crashed(1) && phase != phaseP2Commit {
-				phase = phaseP2Commit
-			}
-		}
-		if !s.Step() {
-			break
-		}
-	}
-	return result(rec, rounds, p1Committed, s.Steps())
+	return NewSimDriver(factory, cfg).Run(cfg.strategy(1))
 }
 
 // Algorithm2 runs the crash-free-case strategy (§4, Algorithm 2):
@@ -192,91 +137,15 @@ func Algorithm1(factory stm.Factory, cfg Config) Result {
 // infinitely often (Figure 13).
 func Algorithm2(factory stm.Factory, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	rec := stm.NewRecorder(factory(2, 1))
-	s := sim.New(sim.NewSeeded(cfg.Seed))
-	defer s.Close()
-
-	const (
-		phaseP1Read = iota + 1
-		phaseP2Try
-		phaseP1Finish
-	)
-	phase := phaseP1Read
-	var (
-		p1Val       model.Value
-		p1HasRead   bool
-		rounds      int
-		p1Committed bool
-	)
-
-	_ = s.Spawn(1, func(env *sim.Env) {
-		for {
-			for phase != phaseP1Read {
-				env.Yield()
-			}
-			v, st := rec.Read(env, X)
-			p1Val, p1HasRead = v, st == stm.OK
-			phase = phaseP2Try
-			if cfg.ParasiticP1 {
-				continue // never attempt Step 2: parasitic
-			}
-			for phase != phaseP1Finish && phase != phaseP1Read {
-				env.Yield()
-			}
-			if phase != phaseP1Finish {
-				continue // p2 did not commit this round; read again
-			}
-			if p1HasRead {
-				if rec.Write(env, X, p1Val+1) == stm.OK {
-					if rec.TryCommit(env) == stm.OK {
-						p1Committed = true
-						phase = phaseP1Read
-						return
-					}
-				}
-			}
-			phase = phaseP1Read
-		}
-	})
-	_ = s.Spawn(2, func(env *sim.Env) {
-		for {
-			for phase != phaseP2Try {
-				env.Yield()
-			}
-			v, st := rec.Read(env, X)
-			if st != stm.OK {
-				phase = phaseP1Read
-				continue
-			}
-			if rec.Write(env, X, v+1) != stm.OK {
-				phase = phaseP1Read
-				continue
-			}
-			if rec.TryCommit(env) != stm.OK {
-				phase = phaseP1Read
-				continue
-			}
-			rounds++
-			if cfg.ParasiticP1 {
-				phase = phaseP1Read
-			} else {
-				phase = phaseP1Finish
-			}
-		}
-	})
-
-	for s.Steps() < cfg.MaxSteps && rounds < cfg.Rounds && !p1Committed {
-		if !s.Step() {
-			break
-		}
-	}
-	return result(rec, rounds, p1Committed, s.Steps())
+	return NewSimDriver(factory, cfg).Run(cfg.strategy(2))
 }
 
 // Lemma1 runs the n-process generalization: processes 1..n-1 each
 // start a transaction with a read and then hold it; process n commits
 // transactions forever; afterwards each holder tries to finish its
-// transaction. At most one process (p_n) makes progress.
+// transaction. At most one process (p_n) makes progress. It stays on
+// the simulated substrate — the point is the counting argument, not
+// the schedule.
 func Lemma1(factory stm.Factory, n int, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	rec := stm.NewRecorder(factory(n, 1))
@@ -340,16 +209,11 @@ func Lemma1(factory stm.Factory, n int, cfg Config) Result {
 			break
 		}
 	}
-	return result(rec, rounds, anyHolderC, s.Steps())
-}
-
-func result(rec *stm.Recorder, rounds int, p1Committed bool, steps int) Result {
 	h := rec.History()
 	return Result{
-		History:     h,
-		Stats:       stm.Summarize(h),
-		Rounds:      rounds,
-		P1Committed: p1Committed,
-		Steps:       steps,
+		Outcome: Outcome{Rounds: rounds, P1Committed: anyHolderC},
+		History: h,
+		Stats:   stm.Summarize(h),
+		Steps:   s.Steps(),
 	}
 }

@@ -1,0 +1,122 @@
+package adversary
+
+import (
+	"livetm/internal/model"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+)
+
+// simCmd is one pending action for a simulated process.
+type simCmd int
+
+const (
+	simIdle simCmd = iota
+	simRead
+	simFinish
+	simAttempt
+)
+
+// SimDriver drives the strategies on the simulated substrate: the two
+// processes run as command loops under the deterministic cooperative
+// scheduler, and each Driver action steps the scheduler until the
+// commanded process posts its result or the step budget runs out
+// (Blocked). All strategy state lives in the driver; the process
+// bodies only execute the granted operation, so there are no data
+// races under the cooperative scheduler.
+type SimDriver struct {
+	cfg Config
+	s   *sim.Scheduler
+	rec *stm.Recorder
+
+	cmd [2]simCmd      // pending command per process (index p-1)
+	arg [2]model.Value // Finish's read value
+	res [2]*StepResult // posted result, nil while pending
+}
+
+// NewSimDriver creates a driver running a fresh TM from the factory
+// under a scheduler seeded from cfg.
+func NewSimDriver(factory stm.Factory, cfg Config) *SimDriver {
+	cfg = cfg.withDefaults()
+	d := &SimDriver{
+		cfg: cfg,
+		s:   sim.New(sim.NewSeeded(cfg.Seed)),
+		rec: stm.NewRecorder(factory(2, 1)),
+	}
+	d.spawn(1)
+	d.spawn(2)
+	return d
+}
+
+// spawn installs process p's command loop.
+func (d *SimDriver) spawn(p int) {
+	i := p - 1
+	_ = d.s.Spawn(model.Proc(p), func(env *sim.Env) {
+		for {
+			for d.cmd[i] == simIdle {
+				env.Yield()
+			}
+			c := d.cmd[i]
+			d.cmd[i] = simIdle
+			switch c {
+			case simRead:
+				v, st := d.rec.Read(env, X)
+				d.res[i] = &StepResult{Val: v, OK: st == stm.OK}
+			case simFinish:
+				ok := false
+				if d.rec.Write(env, X, d.arg[i]+1) == stm.OK {
+					ok = d.rec.TryCommit(env) == stm.OK
+				}
+				d.res[i] = &StepResult{OK: ok}
+			case simAttempt:
+				res := StepResult{}
+				if v, st := d.rec.Read(env, X); st == stm.OK {
+					if d.rec.Write(env, X, v+1) == stm.OK {
+						res.OK = d.rec.TryCommit(env) == stm.OK
+					}
+				}
+				d.res[i] = &res
+			}
+		}
+	})
+}
+
+// issue posts a command for p and steps the scheduler until the result
+// lands or the global step budget is exhausted (Blocked).
+func (d *SimDriver) issue(p int, c simCmd, arg model.Value) StepResult {
+	i := p - 1
+	d.cmd[i], d.arg[i], d.res[i] = c, arg, nil
+	for d.res[i] == nil && d.s.Steps() < d.cfg.MaxSteps {
+		if !d.s.Step() {
+			break
+		}
+	}
+	if d.res[i] == nil {
+		return StepResult{Blocked: true}
+	}
+	return *d.res[i]
+}
+
+// Read implements Driver.
+func (d *SimDriver) Read(p int) StepResult { return d.issue(p, simRead, 0) }
+
+// Finish implements Driver.
+func (d *SimDriver) Finish(p int, v model.Value) StepResult { return d.issue(p, simFinish, v) }
+
+// Attempt implements Driver.
+func (d *SimDriver) Attempt(p int) StepResult { return d.issue(p, simAttempt, 0) }
+
+// Crash implements Driver.
+func (d *SimDriver) Crash(p int) { d.s.Crash(model.Proc(p)) }
+
+// Run executes strategy s and assembles the simulated result.
+func (d *SimDriver) Run(s Strategy) Result {
+	defer d.s.Close()
+	o := drive(d, s, d.cfg)
+	h := d.rec.History()
+	return Result{
+		Outcome: o,
+		History: h,
+		Stats:   stm.Summarize(h),
+		Steps:   d.s.Steps(),
+	}
+}

@@ -72,4 +72,12 @@
 // Engines returns the full cross-product registry: the nine simulated
 // TMs of core.Registry and the five native algorithms of
 // native.Algorithms, all behind this one interface.
+//
+// The registry is also where the paper's impossibility arguments meet
+// the production-style algorithms: the adversary conformance suite
+// (adversary_test.go) drives the Theorem 1 strategies
+// (internal/adversary) against every native algorithm and asserts the
+// no-local-progress dichotomy — p1 never commits, or nobody does — on
+// every strategy-variant × algorithm cell, with per-process starvation
+// intervals harvested from the online monitor.
 package engine

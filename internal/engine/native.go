@@ -151,68 +151,29 @@ const (
 // channels order the accesses.
 type liveState struct {
 	mon       *monitor.Monitor
-	bo        *native.Backoff
 	stop      chan struct{}
 	done      chan struct{}
 	violation error
 }
 
-// runPump restores the recorded total order from the stream's
-// per-sequence arrivals and feeds it to the monitor while the workload
-// executes. A terminal safety error closes the stop channel — the
-// mid-flight cancellation — after which the pump keeps draining (so no
-// producer stays blocked on a full channel) and keeps the progress
-// accounting current. Starvation feedback rebiases the backoff policy
-// every liveRebiasEvery events.
-func runPump(ls *liveState, stream <-chan []record.Streamed, procs int) {
+// runPump feeds the live stream through the shared monitor pump
+// (record.Resequencer order restoration + monitor.Observe) while the
+// workload executes. A terminal safety error closes the stop channel —
+// the mid-flight cancellation — and the measured starvation rebiases
+// the backoff policy every liveRebiasEvery events.
+func runPump(ls *liveState, stream <-chan []record.Streamed, bo *native.Backoff, procs int) {
 	defer close(ls.done)
-	// Sends from different processes can overtake each other between
-	// stamping and publishing by at most the in-flight window (process
-	// count + channel capacity), so a ring indexed by sequence number
-	// restores the total order without a map on the per-event path.
-	// The overflow map only absorbs the pathological case of a process
-	// descheduled mid-publish for longer than the whole window.
-	const ringSize = 1 << 16 // power of two > procs + liveStreamCap
-	ring := make([]model.Event, ringSize)
-	present := make([]bool, ringSize)
-	overflow := make(map[uint64]model.Event)
-	next := uint64(1)
-	observed := 0
-	stopped := false
-	for batch := range stream {
-		for _, s := range batch {
-			if s.Seq >= next+ringSize {
-				overflow[s.Seq] = s.Ev
-			} else {
-				ring[s.Seq%ringSize] = s.Ev
-				present[s.Seq%ringSize] = true
-			}
-		}
-		for {
-			slot := next % ringSize
-			if !present[slot] {
-				if ev, ok := overflow[next]; ok {
-					delete(overflow, next)
-					ring[slot] = ev
-				} else {
-					break
-				}
-			}
-			ev := ring[slot]
-			present[slot] = false
-			next++
-			observed++
-			err := ls.mon.Observe(ev)
-			if err != nil && !stopped {
-				ls.violation = err
-				stopped = true
-				close(ls.stop)
-			}
-			if !stopped && observed%liveRebiasEvery == 0 {
-				ls.bo.Rebias(ls.mon.StarvationNow(procs))
-			}
-		}
+	pump := &monitor.Pump{
+		Mon:   ls.mon,
+		Procs: procs,
+		OnViolation: func(err error) {
+			ls.violation = err
+			close(ls.stop)
+		},
+		RebiasEvery: liveRebiasEvery,
+		Rebias:      bo.Rebias,
 	}
+	pump.Run(stream)
 }
 
 // Run implements Engine.
@@ -247,7 +208,7 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 		if err != nil {
 			return Stats{}, err
 		}
-		live = &liveState{mon: mon, bo: bo, stop: make(chan struct{}), done: make(chan struct{})}
+		live = &liveState{mon: mon, stop: make(chan struct{}), done: make(chan struct{})}
 		rec = record.NewWithOptions(cfg.Procs, record.Options{
 			CapacityHint:   cfg.OpsPerProc*8 + 16,
 			StreamCapacity: liveStreamCap,
@@ -256,7 +217,7 @@ func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 			// per-process chunk rings recycle and allocation stays flat.
 			DropStreamed: !cfg.Record,
 		})
-		go runPump(live, rec.Stream(), cfg.Procs)
+		go runPump(live, rec.Stream(), bo, cfg.Procs)
 	} else if cfg.Record {
 		// Pre-size each process's buffer for its committed rounds; a
 		// busier run grows process-locally, chunk by chunk.

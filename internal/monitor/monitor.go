@@ -48,6 +48,11 @@ type Config struct {
 	// of failing with ErrNoQuiescentCut. Live monitoring sets it — a
 	// run must not die because its schedule never quiesced.
 	Approx bool
+	// RecordGaps retains every process's closed commit gaps
+	// (ProcProgress.CommitGaps) instead of only the maximum, so a run's
+	// starvation-interval distribution can be reported. Off by default:
+	// a long run would retain one int per commit.
+	RecordGaps bool
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +81,15 @@ type ProcProgress struct {
 	// gap between consecutive commits, counting the still-open gap at
 	// the end of the run.
 	MaxStarvation int
+	// CommitGaps holds every closed commit gap in arrival order when
+	// Config.RecordGaps is set: the global-event distance between
+	// consecutive commits (the first entry counts from the start of the
+	// run). Nil otherwise.
+	CommitGaps []int
+	// OpenGap is the still-open commit gap at the end of the run, set
+	// when the report is assembled: global events since the process's
+	// last commit, or since the run began if it never committed.
+	OpenGap int
 
 	firstEvent *model.Event // first observed event, for the lasso prefix
 	activeFrom int          // global index the current commit gap started at
@@ -151,6 +165,9 @@ func (m *Monitor) Observe(e model.Event) error {
 		gap := m.events - pp.activeFrom
 		if gap > pp.MaxStarvation {
 			pp.MaxStarvation = gap
+		}
+		if m.cfg.RecordGaps {
+			pp.CommitGaps = append(pp.CommitGaps, gap)
 		}
 		pp.LastCommitAt = m.events
 		pp.activeFrom = m.events
@@ -271,6 +288,25 @@ func (r Report) LivenessClass() string {
 	return "none"
 }
 
+// StarvationIntervals returns each process's starvation intervals in
+// global events: the closed commit gaps (retained under
+// Config.RecordGaps) followed by the still-open gap at the end of the
+// run when it is positive. A process that was active but never
+// committed contributes exactly one interval — the whole run — which
+// is how a starving process of the paper's infinite histories shows up
+// in a finite sample.
+func (r Report) StarvationIntervals() map[model.Proc][]int {
+	out := make(map[model.Proc][]int, len(r.Procs))
+	for _, p := range r.Procs {
+		intervals := append([]int(nil), p.CommitGaps...)
+		if p.OpenGap > 0 {
+			intervals = append(intervals, p.OpenGap)
+		}
+		out[p.Proc] = intervals
+	}
+	return out
+}
+
 // Format renders the report as an aligned text block.
 func (r Report) Format() string {
 	var b strings.Builder
@@ -319,6 +355,7 @@ func (m *Monitor) Report() Report {
 	for _, p := range sortedProcs(m.procs) {
 		pp := *m.procs[p]
 		pp.MaxStarvation = pp.starvation(m.events)
+		pp.OpenGap = m.events - pp.activeFrom
 		r.Procs = append(r.Procs, ProcReport{ProcProgress: pp, Class: m.class(lasso, p)})
 	}
 	if lasso != nil {

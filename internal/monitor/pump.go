@@ -1,0 +1,60 @@
+package monitor
+
+import (
+	"livetm/internal/model"
+	"livetm/internal/record"
+)
+
+// Pump drains a recorder's live stream into a Monitor while the run
+// executes: it restores the recorded total order from the stream's
+// per-process batches (record.Resequencer) and feeds each event to
+// Monitor.Observe on the pump's goroutine, so the monitor needs no
+// locking. It is the shared consumer half of live monitoring — the
+// engine's native adapter and the adversary's native driver both run
+// one.
+//
+// A terminal safety error fires OnViolation exactly once; the pump
+// then keeps draining (so no producer stays blocked on a full channel)
+// and keeps the progress accounting current, but stops the rebias
+// feedback — a violated run is being torn down, not tuned.
+type Pump struct {
+	// Mon is the monitor every restored event is fed to.
+	Mon *Monitor
+	// Procs is the run's process count, sizing the starvation snapshot
+	// handed to Rebias.
+	Procs int
+	// OnViolation, when non-nil, is called once with the first terminal
+	// error Observe returns (the mid-flight stop hook).
+	OnViolation func(error)
+	// RebiasEvery is how often, in observed events, the measured
+	// starvation is fed back through Rebias (0 = no feedback).
+	RebiasEvery int
+	// Rebias receives Monitor.StarvationNow snapshots on the feedback
+	// cadence (nil = no feedback).
+	Rebias func(starvation []int)
+}
+
+// Run consumes the stream until it closes. Call it on a dedicated
+// goroutine and close the recorder's stream (Recorder.CloseStream)
+// once the producers quiesced; Run returning is the signal that the
+// monitor absorbed every event and may be asked to Report.
+func (p *Pump) Run(stream <-chan []record.Streamed) {
+	rs := record.NewResequencer()
+	observed := 0
+	violated := false
+	for batch := range stream {
+		rs.Push(batch, func(ev model.Event) {
+			observed++
+			err := p.Mon.Observe(ev)
+			if err != nil && !violated {
+				violated = true
+				if p.OnViolation != nil {
+					p.OnViolation(err)
+				}
+			}
+			if !violated && p.RebiasEvery > 0 && p.Rebias != nil && observed%p.RebiasEvery == 0 {
+				p.Rebias(p.Mon.StarvationNow(p.Procs))
+			}
+		})
+	}
+}

@@ -1,0 +1,39 @@
+//go:build ignore
+
+// Regenerates the violating-stream fixtures under testdata. Run from
+// the module root:
+//
+//	go run internal/safety/gen_testdata.go
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"livetm/internal/model"
+	"livetm/internal/safety"
+)
+
+func main() {
+	fixtures := []struct {
+		file string
+		cfg  safety.StreamGenConfig
+	}{
+		{"violating_b4_missed.jsonl", safety.StreamGenConfig{Increments: 5, StaleDepth: 3}},
+		{"violating_b4_caught.jsonl", safety.StreamGenConfig{Increments: 7, StaleDepth: 5}},
+	}
+	dir := filepath.Join("internal", "safety", "testdata")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range fixtures {
+		h := safety.ViolatingStream(f.cfg)
+		if err := model.SaveTrace(filepath.Join(dir, f.file), h); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events)\n", f.file, len(h))
+	}
+}

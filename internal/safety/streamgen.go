@@ -1,0 +1,76 @@
+package safety
+
+import "livetm/internal/model"
+
+// Synthetic violating streams for checker evaluation. The ROADMAP's
+// open question — how often does the bounded-overlap forced-frontier
+// fallback miss a violation the exact checker catches? — needs a
+// family of histories that are (a) well-formed, (b) provably not
+// opaque, and (c) cut-starved, so the fallback actually engages. This
+// generator builds exactly those; the miss-rate test in this package
+// sweeps it against both checkers and reports the rate.
+
+// StreamGenConfig parameterizes one synthetic violating stream.
+type StreamGenConfig struct {
+	// Increments is the number of committed increment transactions p1
+	// runs on x before the stale read (x goes 0 → Increments).
+	Increments int
+	// StaleDepth is how many commits back p2's read value lies: p2
+	// reads Increments-StaleDepth even though every increment committed
+	// before its read began. Must be in [1, Increments].
+	StaleDepth int
+}
+
+// ViolatingStream builds a well-formed history that is not opaque and
+// has no quiescent cut before its final event:
+//
+//   - p3 opens a straddler transaction (one read of y) immediately and
+//     holds it until the end, so no prefix ever quiesces;
+//   - p1 commits cfg.Increments increment transactions on x, back to
+//     back;
+//   - p2 then commits a read-only transaction that reads the stale
+//     value x = Increments−StaleDepth. Every increment committed
+//     before p2's read began, so real-time order forces p2 after all
+//     of them — where only x = Increments is feasible — and no legal
+//     serialization exists.
+//
+// The exact segmented checker (one segment, budget ≥ Increments+2)
+// always rejects the history. The streaming checker's forced-frontier
+// fallback rejects it too unless a frontier happens to fall between
+// the last increment and p2's transaction: then p2 is judged against
+// the propagated visited snapshots — which still contain the stale
+// value — and the violation is missed. That over-approximation is the
+// object under test.
+func ViolatingStream(cfg StreamGenConfig) model.History {
+	const (
+		x = model.TVar(0)
+		y = model.TVar(1)
+	)
+	k := cfg.Increments
+	if k < 1 {
+		k = 1
+	}
+	d := cfg.StaleDepth
+	if d < 1 {
+		d = 1
+	}
+	if d > k {
+		d = k
+	}
+	h := make(model.History, 0, 6*k+10)
+	// The straddler: opens first, closes last.
+	h = h.Append(model.Read(3, y), model.ValueResp(3, 0))
+	for i := 0; i < k; i++ {
+		v := model.Value(i)
+		h = h.Append(
+			model.Read(1, x), model.ValueResp(1, v),
+			model.Write(1, x, v+1), model.OK(1),
+			model.TryCommit(1), model.Commit(1),
+		)
+	}
+	h = h.Append(
+		model.Read(2, x), model.ValueResp(2, model.Value(k-d)),
+		model.TryCommit(2), model.Commit(2),
+	)
+	return h.Append(model.TryCommit(3), model.Commit(3))
+}

@@ -1,4 +1,8 @@
-package dstm
+// The external test package breaks the import cycle that the
+// adversary's cross-substrate matrix would otherwise close: adversary
+// (driven here) imports this package's factory for its simulated
+// counterpart cells.
+package dstm_test
 
 import (
 	"testing"
@@ -7,17 +11,18 @@ import (
 	"livetm/internal/model"
 	"livetm/internal/sim"
 	"livetm/internal/stm"
+	"livetm/internal/stm/dstm"
 	"livetm/internal/stm/stmtest"
 )
 
-func greedyFactory(nProcs, nVars int) stm.TM { return NewWithCM(Greedy) }
+func greedyFactory(nProcs, nVars int) stm.TM { return dstm.NewWithCM(dstm.Greedy) }
 
 func TestGreedyConformance(t *testing.T) {
 	stmtest.Conformance(t, greedyFactory)
 }
 
 func TestGreedyName(t *testing.T) {
-	if NewWithCM(Greedy).Name() != "dstm-greedy" {
+	if dstm.NewWithCM(dstm.Greedy).Name() != "dstm-greedy" {
 		t.Error("name")
 	}
 }
@@ -27,7 +32,7 @@ func TestGreedyName(t *testing.T) {
 // forever; with Greedy the older transaction always wins, so both
 // processes commit (write-write starvation freedom).
 func TestGreedyNoLivelockUnderMetronome(t *testing.T) {
-	tm := NewWithCM(Greedy)
+	tm := dstm.NewWithCM(dstm.Greedy)
 	s := sim.New(&sim.RoundRobin{})
 	defer s.Close()
 	var c1, c2 int
@@ -57,7 +62,7 @@ func writerBody(tm stm.TM, commits *int) func(*sim.Env) {
 // TestGreedyPriorityRetainedAcrossRetries: after an abort a process
 // keeps its (older) timestamp, so it wins its next conflict.
 func TestGreedyPriorityRetainedAcrossRetries(t *testing.T) {
-	tm := NewWithCM(Greedy)
+	tm := dstm.NewWithCM(dstm.Greedy)
 	env1, env2 := sim.Background(1), sim.Background(2)
 	// p1 starts first: older stamp.
 	if st := tm.Write(env1, 0, 1); st != stm.OK {
