@@ -16,6 +16,16 @@
 //	    Prints the monitor report and liveness class; -live=false
 //	    degrades to a plain recorded run (like `livetm record`).
 //
+//	livetm serve -engine NAME [-workers N] [-submitters N] [-mix M] [-contention C] [-sharing S] [-duration D] [-progress D]
+//	    Run a native engine as a long-lived service: one session whose
+//	    worker pool serves transactions submitted by concurrent client
+//	    goroutines, with the in-process monitor resident for the
+//	    session's whole lifetime — the soak mode for native TMs.
+//	    Prints a progress line every -progress interval and drains
+//	    cleanly on SIGINT/SIGTERM (or after -duration), printing the
+//	    final monitor report and liveness class. A safety violation
+//	    stops the service mid-flight with a non-zero exit.
+//
 //	livetm adversary [-tm NAME | -engine NAME | -matrix] [-alg 1|2] [-crash] [-parasitic] [-rounds N] [-out FILE] [-artifact FILE]
 //	    Run the Theorem 1 environment strategy against a TM and print
 //	    the resulting history suffix (Figures 9, 10, 12, 13). -tm picks
@@ -95,13 +105,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"livetm/internal/adversary"
 	"livetm/internal/automaton"
@@ -135,6 +151,7 @@ var subcommands = []struct {
 }{
 	{"matrix", cmdMatrix},
 	{"run", cmdRun},
+	{"serve", cmdServe},
 	{"check", cmdCheck},
 	{"classify", cmdClassify},
 	{"adversary", cmdAdversary},
@@ -855,6 +872,154 @@ func cmdRun(args []string) error {
 		return cmdRecord(rest)
 	}
 	return runLiveCell(*name, *procsN, *ops, *mixName, *contentionName, *sharing, *quiesce, *segment, 0, *out)
+}
+
+// cmdServe runs a native engine as a long-lived service: one session
+// whose worker pool serves matrix-cell transactions submitted by
+// concurrent client goroutines, the in-process monitor resident for
+// the session's lifetime, periodic progress lines, and a SIGTERM-clean
+// shutdown that drains in-flight transactions and prints the final
+// monitor report.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	name := fs.String("engine", "native-tl2", "native engine to serve (see `livetm engines`)")
+	workers := fs.Int("workers", 4, "worker pool size (the session's process count)")
+	submitters := fs.Int("submitters", 8, "concurrent client goroutines submitting transactions")
+	mixName := fs.String("mix", "update", "read/write mix: update, readheavy or writeheavy")
+	contentionName := fs.String("contention", "hot", "contention level: hot or cold")
+	sharing := fs.String("sharing", "shared", "variable sharing: shared or disjoint")
+	live := fs.Bool("live", true, "keep the in-process monitor resident (mid-flight violation stop + starvation-aware backoff)")
+	duration := fs.Duration("duration", 0, "stop after this long (0 = serve until SIGINT/SIGTERM)")
+	progress := fs.Duration("progress", 2*time.Second, "progress line interval")
+	quiesce := fs.Int("quiesce", 0, "quiescent-cut interval in completed transactions per worker (0 = the live default of 4, -1 = never)")
+	segment := fs.Int("segment", 0, "live checker segment budget in transactions (0 = default 48)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *progress <= 0 {
+		return fmt.Errorf("serve: -progress must be positive, got %v", *progress)
+	}
+	if !*live {
+		// Flags only the resident monitor honours are rejected, not
+		// silently dropped.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "quiesce", "segment":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("serve: %s cannot be combined with -live=false (quiescent cuts and the segment budget belong to the resident monitor)", strings.Join(conflict, ", "))
+		}
+	}
+	e, ok := engine.Lookup(*name)
+	if !ok {
+		return fmt.Errorf("serve: unknown engine %q", *name)
+	}
+	if e.Capabilities().Substrate != engine.Native {
+		return fmt.Errorf("serve: %s is not a native engine (the soak service needs real concurrency)", *name)
+	}
+	spec, err := matrixCell(*workers, *mixName, *contentionName, *sharing)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s, err := e.Open(engine.SessionConfig{
+		Workers:         *workers,
+		Vars:            spec.Vars,
+		Live:            *live,
+		QuiesceEvery:    *quiesce,
+		LiveSegmentTxns: *segment,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: %s serving %s with %d workers, %d submitters (live=%v)\n",
+		e.Name(), spec.Name, *workers, *submitters, *live)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		var timeout <-chan time.Time
+		if *duration > 0 {
+			timeout = time.After(*duration)
+		}
+		select {
+		case sig := <-sigc:
+			fmt.Printf("serve: caught %v — draining\n", sig)
+		case <-timeout:
+			fmt.Printf("serve: duration %v elapsed — draining\n", *duration)
+		case <-ctx.Done():
+		}
+		cancel()
+	}()
+
+	body := spec.Body()
+	errc := make(chan error, *submitters)
+	var wg sync.WaitGroup
+	for i := 0; i < *submitters; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// The workload body's variable choice is a function of its
+			// process index, so the submission is pinned to the worker
+			// with that identity: submitters sharing a worker serialize
+			// on its lane, and a disjoint cell stays disjoint.
+			proc := id % *workers
+			for round := 0; ctx.Err() == nil; round++ {
+				r := round
+				err := s.ExecOn(ctx, proc, func(tx engine.Tx) error { return body(proc, r, tx) })
+				switch {
+				case err == nil, errors.Is(err, engine.ErrNoCommit):
+				case errors.Is(err, context.Canceled):
+					return
+				default:
+					errc <- err
+					cancel()
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	start := time.Now()
+	tick := time.NewTicker(*progress)
+	defer tick.Stop()
+serving:
+	for {
+		select {
+		case <-tick.C:
+			st := s.Stats()
+			fmt.Printf("serve: t=%-8s workers=%d submitted=%d completed=%d commits=%d aborts=%d (%.1f%%) bias=%v\n",
+				time.Since(start).Round(time.Second), st.Workers, st.Submitted, st.Completed,
+				st.Commits, st.Aborts, 100*st.AbortRate(), st.BackoffBias)
+		case <-done:
+			break serving
+		}
+	}
+
+	rep, cerr := s.Close()
+	st := s.Stats()
+	fmt.Printf("serve: final report after %s: commits=%d aborts=%d (%.1f%%) no-commits=%d over %d workers\n",
+		time.Since(start).Round(time.Millisecond), st.Commits, st.Aborts, 100*st.AbortRate(), st.NoCommits, st.Workers)
+	if rep != nil {
+		fmt.Print(rep.Format())
+		fmt.Printf("  liveness class: %s\n", rep.LivenessClass())
+	}
+	if cerr != nil {
+		return fmt.Errorf("serve: %w", cerr)
+	}
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: submitter failed: %w", err)
+	default:
+	}
+	return nil
 }
 
 // cmdRecord runs one recording-capable engine over a workload-matrix

@@ -28,6 +28,24 @@ func TestCmdTMs(t *testing.T) {
 	}
 }
 
+// TestCmdServe runs a short soak: the service must drain after
+// -duration with a clean final report. Run with -race.
+func TestCmdServe(t *testing.T) {
+	if err := run([]string{"serve", "-engine", "native-norec", "-workers", "2", "-submitters", "5",
+		"-duration", "400ms", "-progress", "150ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"serve", "-engine", "sim-tl2", "-duration", "100ms"}); err == nil {
+		t.Error("serve on a simulated engine must error")
+	}
+	if err := run([]string{"serve", "-live=false", "-quiesce", "-1", "-duration", "100ms"}); err == nil {
+		t.Error("monitor-only flags with -live=false must error, not be dropped")
+	}
+	if err := run([]string{"serve", "-engine", "nope", "-duration", "100ms"}); err == nil {
+		t.Error("serve on an unknown engine must error")
+	}
+}
+
 func TestCmdMatrixSmall(t *testing.T) {
 	if err := run([]string{"matrix", "-steps", "600", "-ablations=false"}); err != nil {
 		t.Fatal(err)

@@ -13,19 +13,28 @@
 // (internal/sim + internal/stm/...) for the paper's adversarial
 // liveness and opacity experiments, and real-concurrency sync/atomic
 // implementations (internal/native) for the wall-clock scalability
-// argument of footnote 1. Both substrates record histories: native
-// runs are observed at their linearization points through
+// argument of footnote 1. The API is session-first, matching the
+// paper's open-world framing: engine.Open starts a long-lived TM
+// session with a worker pool, clients submit individual transactions
+// (Session.Exec blocking, Session.Submit async), Stats snapshots
+// counters mid-flight, and Close drains and returns the resident
+// monitor's final report; the batch engine.Run is a thin wrapper over
+// one session, and `livetm serve` runs a native TM as a SIGTERM-clean
+// soak service on the same core. Both substrates record histories:
+// native runs are observed at their linearization points through
 // internal/record (per-process chunked buffers ordered by one atomic
 // sequence counter), and internal/monitor checks any history online —
 // a streaming segmented opacity check plus per-process progress
 // accounting classified against the liveness lattice. Monitoring also
-// runs in-process: RunConfig.Live streams a native run's events
-// through a bounded channel into the monitor while the workload
-// executes, stops the run mid-flight on a safety violation, and feeds
-// the measured per-process starvation back into the native retry
-// loop's backoff (starvation-aware contention management). Cut-starved
-// streams degrade to an explicit approximate verdict at forced
-// serialization frontiers instead of refusing. The workload matrix
+// runs in-process: a live session streams events through a bounded
+// channel into the monitor while transactions execute, stops the
+// session mid-flight on a safety violation, and feeds the measured
+// per-process starvation back into the native retry loop's backoff
+// (starvation-aware contention management). Cut-starved streams
+// degrade to an explicit approximate verdict at forced serialization
+// frontiers — final snapshots propagate across each frontier, and a
+// transaction carried open across one has its unverifiable reads
+// waived — instead of refusing. The workload matrix
 // (internal/workload) is declared once and executed against every
 // (algorithm, substrate) pair, optionally recording, checking, or
 // live-monitoring each cell (per-cell liveness class and recorder

@@ -1,0 +1,144 @@
+// Serve: the session-first engine API. Where the other examples drive
+// closed batch runs (engine.Run with a fixed Procs × OpsPerProc
+// budget), this one runs a TM the way the paper's liveness results
+// frame it — as an ongoing service: engine.Open starts a long-lived
+// session with a worker pool and a resident live monitor, client
+// goroutines submit individual transactions with Exec (blocking) and
+// Submit (async callback), Stats snapshots the counters mid-flight,
+// AddWorkers grows the pool while traffic is flowing, and Close drains
+// the in-flight transactions and returns the monitor's final report.
+//
+// `livetm serve` wraps exactly this shape as a SIGTERM-clean soak
+// command; engine.Run is the batch convenience wrapper over the same
+// session core.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"livetm/internal/engine"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A session is an open-world TM instance: no transaction budget, no
+	// fixed process loop — just a pool of workers (MaxWorkers provisions
+	// room to grow) and whatever clients submit.
+	s, err := engine.Open(engine.SessionConfig{
+		Engine:     "native-tinystm",
+		Workers:    2,
+		MaxWorkers: 3,
+		Vars:       4,
+		Live:       true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Blocking clients: several goroutines transfer between two
+	// accounts, each Exec returning only when its transaction
+	// committed.
+	const submitters, transfers = 4, 200
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			from, to := id%4, (id+1)%4
+			for j := 0; j < transfers; j++ {
+				err := s.Exec(context.Background(), func(tx engine.Tx) error {
+					fv, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(from, fv-1); err != nil {
+						return err
+					}
+					return tx.Write(to, tv+1)
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "submitter %d: %v\n", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Grow the pool mid-flight: the recorder and backoff slots were
+	// provisioned for MaxWorkers, so the new worker's events slot
+	// straight into the checked stream (it joins the monitor's process
+	// set with its first event).
+	if err := s.AddWorkers(1); err != nil {
+		return err
+	}
+
+	// Async clients: fire-and-forget audits with a result callback.
+	var audited atomic.Int64
+	for i := 0; i < 50; i++ {
+		err := s.Submit(func(tx engine.Tx) error {
+			var total int64
+			for v := 0; v < 4; v++ {
+				x, err := tx.Read(v)
+				if err != nil {
+					return err
+				}
+				total += x
+			}
+			if total != 0 {
+				return fmt.Errorf("audit: total = %d, want 0", total)
+			}
+			return nil
+		}, func(err error) {
+			if err == nil {
+				audited.Add(1)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	mid := s.Stats()
+	fmt.Printf("mid-flight: workers=%d submitted=%d completed=%d commits=%d aborts=%d (%.1f%%)\n",
+		mid.Workers, mid.Submitted, mid.Completed, mid.Commits, mid.Aborts, 100*mid.AbortRate())
+
+	wg.Wait()
+	if err := s.Drain(context.Background()); err != nil {
+		return err
+	}
+	rep, err := s.Close()
+	if err != nil {
+		return err
+	}
+	st := s.Stats()
+	fmt.Printf("closed: commits=%d (audits passed: %d/50) over %d workers\n",
+		st.Commits, audited.Load(), st.Workers)
+	fmt.Print(rep.Format())
+	fmt.Printf("liveness class: %s\n", rep.LivenessClass())
+
+	if want := uint64(submitters*transfers + 50); st.Commits != want {
+		return fmt.Errorf("commits = %d, want %d", st.Commits, want)
+	}
+	if audited.Load() != 50 {
+		return fmt.Errorf("audits passed = %d, want 50", audited.Load())
+	}
+	if !rep.Checked || !rep.Opacity.Holds {
+		return fmt.Errorf("the resident monitor did not certify the session: %s", rep.Opacity.Reason)
+	}
+	fmt.Println("the session served blocking and async clients, grew its pool, and closed with a certified history")
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun executes the whole example: blocking and async submissions
+// on a live session, dynamic worker admission, and a certified close.
+// Run with -race.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

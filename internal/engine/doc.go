@@ -30,22 +30,50 @@
 // opacity checkers (safety.CheckOpacitySegmented, internal/monitor)
 // can verify arbitrarily long native executions in bounded memory.
 //
+// # Sessions
+//
+// The paper's liveness results are statements about ongoing systems —
+// processes that keep issuing transactions forever while the
+// environment schedules them — so the package's core is a long-lived
+// Session, not a closed batch run. Open (or Engine.Open) starts a TM
+// instance with a worker pool; clients submit individual transactions
+// with Session.Exec (blocking, returning the commit error) and
+// Session.Submit (async, with a result callback), pinned to a worker
+// or to AnyWorker; Session.Stats snapshots the counters mid-flight;
+// Session.AddWorkers admits more workers while traffic flows (native
+// substrate, up to the provisioned MaxWorkers); and Session.Close
+// drains the in-flight transactions and returns the monitor's final
+// report. Engine.Run is the batch convenience wrapper over exactly
+// this: open a session, keep each worker's lane loaded with its
+// OpsPerProc rounds, drain, close. `livetm serve` is the same shape as
+// a SIGTERM-clean soak service.
+//
+// On the native substrate workers are real goroutines and submissions
+// execute as soon as a worker frees up; quiescent cuts for the
+// checkers are brief global pauses (no new transaction starts while
+// in-flight ones finish) since idle workers cannot rendezvous at a
+// barrier. On the simulated substrate the session is demand-driven:
+// the cooperative scheduler steps while a caller blocks in Exec, Drain
+// or Close, which is what keeps batch runs bit-for-bit deterministic.
+//
 // # Live monitoring
 //
-// RunConfig.Live closes the loop while the run is still executing: the
-// recorder publishes every stamped event into a bounded channel, a
-// pump goroutine restores the total order by sequence number and feeds
-// internal/monitor as the goroutines run. A safety violation cancels
-// the run mid-flight — the stop signal threads through the native
-// retry loop, so even a transaction wedged in retries stops — and Run
-// returns ErrLiveViolation with the verdict in Stats.Live. The same
+// SessionConfig.Live (RunConfig.Live on the batch wrapper) keeps the
+// online monitor resident for the session's lifetime: the recorder
+// publishes every stamped event into a bounded channel, a pump
+// goroutine restores the total order by sequence number and feeds
+// internal/monitor while transactions execute. A safety violation
+// stops the session mid-flight — the stop signal threads through the
+// native retry loop, so even a transaction wedged in retries stops;
+// outstanding submissions fail with ErrStopped and Close (or Run)
+// returns ErrLiveViolation with the verdict in the report. The same
 // feedback path drives starvation-aware backoff: the monitor's
 // per-process starvation intervals periodically rebias the shared
 // backoff policy (native.Backoff) so starved processes back off less
 // and hot ones more, within the capped dynamic range reported by
 // Stats.BackoffCap. Live without Record retains nothing: each process
 // recycles a ring chunk after its events are streamed, capping
-// recorder allocation for arbitrarily long monitored runs
+// recorder allocation for arbitrarily long monitored sessions
 // (Stats.RecorderChunks). Streams whose schedule outruns the segment
 // budget between quiescent cuts degrade to an explicit approximate
 // verdict (forced serialization frontiers) instead of failing.
@@ -54,11 +82,12 @@
 // exact adversarial schedule", the native substrate to ask "how fast
 // is it on this machine", a recorded native run to ask "was this real
 // execution opaque, and which processes progressed", and a live native
-// run to ask "is it still opaque, and who is starving, right now". The
-// workload matrix (internal/workload) declares each scenario once and
-// runs it on every (algorithm, substrate) pair through this package.
+// session to ask "is it still opaque, and who is starving, right now".
+// The workload matrix (internal/workload) declares each scenario once
+// and runs it on every (algorithm, substrate) pair through this
+// package.
 //
-// # The API
+// # The batch API
 //
 // An Engine wraps one algorithm on one substrate. Engine.Run spawns
 // cfg.Procs processes that each execute a TxBody as repeated
@@ -67,7 +96,9 @@
 // returns aggregate commit/abort statistics, plus the recorded
 // history when the substrate supports it. Capabilities reports what
 // the substrate can do so callers can select engines by feature
-// rather than by name.
+// rather than by name. Engines are safe for sequential reuse; a
+// concurrent second Run on one engine value returns ErrBusy, and any
+// number of Sessions may be open concurrently.
 //
 // Engines returns the full cross-product registry: the nine simulated
 // TMs of core.Registry and the five native algorithms of

@@ -113,42 +113,14 @@ type RunConfig struct {
 	LiveTailWindow int
 }
 
+// validate defers to the session validation of the run's mapped shape
+// (RunConfig.session), adding only the batch-specific budget rule, so
+// the two entry points share one rule set.
 func (cfg RunConfig) validate(sub Substrate) error {
-	if cfg.Procs <= 0 {
-		return fmt.Errorf("engine: need a positive process count, got %d", cfg.Procs)
+	if sub == Native && cfg.OpsPerProc <= 0 {
+		return fmt.Errorf("engine: native runs need a positive OpsPerProc budget")
 	}
-	if cfg.Vars <= 0 {
-		return fmt.Errorf("engine: need a positive variable count, got %d", cfg.Vars)
-	}
-	switch sub {
-	case Simulated:
-		if cfg.SimSteps <= 0 {
-			return fmt.Errorf("engine: simulated runs need a positive SimSteps budget")
-		}
-		if cfg.Live {
-			return fmt.Errorf("engine: live monitoring needs the native substrate (simulated histories are checked after the run)")
-		}
-	case Native:
-		if cfg.OpsPerProc <= 0 {
-			return fmt.Errorf("engine: native runs need a positive OpsPerProc budget")
-		}
-		if cfg.QuiesceEvery < 0 && !(cfg.Live && cfg.QuiesceEvery == -1) {
-			return fmt.Errorf("engine: QuiesceEvery must be non-negative (or -1 on a live run), got %d", cfg.QuiesceEvery)
-		}
-		if cfg.QuiesceEvery > 0 && !cfg.Record && !cfg.Live {
-			return fmt.Errorf("engine: QuiesceEvery only applies to recorded or live runs")
-		}
-		if (cfg.LiveSegmentTxns != 0 || cfg.LiveTailWindow != 0) && !cfg.Live {
-			return fmt.Errorf("engine: LiveSegmentTxns and LiveTailWindow only apply to live runs")
-		}
-		if cfg.LiveSegmentTxns < 0 || cfg.LiveSegmentTxns > 64 {
-			return fmt.Errorf("engine: LiveSegmentTxns %d out of range [0, 64]", cfg.LiveSegmentTxns)
-		}
-		if cfg.LiveTailWindow < 0 {
-			return fmt.Errorf("engine: LiveTailWindow must be non-negative, got %d", cfg.LiveTailWindow)
-		}
-	}
-	return nil
+	return cfg.session().validate(sub)
 }
 
 // Stats aggregates one run.
@@ -233,9 +205,16 @@ type Engine interface {
 	Algorithm() string
 	// Capabilities reports what the substrate supports.
 	Capabilities() Capabilities
+	// Open starts a long-lived Session: a fresh TM instance with a
+	// worker pool serving client-submitted transactions until Close.
+	// Any number of sessions may be open concurrently; cfg.Engine is
+	// ignored (the receiver is the engine).
+	Open(cfg SessionConfig) (*Session, error)
 	// Run executes body as repeated transactions on cfg.Procs
-	// processes and returns the aggregate statistics. Each call uses
-	// a fresh TM instance; engines may be reused and are safe for
-	// sequential reuse but not for concurrent Run calls.
+	// processes and returns the aggregate statistics — the batch
+	// convenience wrapper over Open: one session, OpsPerProc pinned
+	// rounds per worker. Each call uses a fresh TM instance; engines
+	// may be reused sequentially, and a concurrent second Run on the
+	// same engine value returns ErrBusy.
 	Run(cfg RunConfig, body TxBody) (Stats, error)
 }

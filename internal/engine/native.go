@@ -2,24 +2,22 @@ package engine
 
 import (
 	"errors"
-	"fmt"
-	"sync"
 	"sync/atomic"
 
-	"livetm/internal/model"
-	"livetm/internal/monitor"
 	"livetm/internal/native"
-	"livetm/internal/record"
 )
 
 // NativeEngine adapts a native (real-concurrency) TM to the Engine
-// interface: processes are goroutines, the budget is transaction
-// rounds, and throughput is wall-clock real. With RunConfig.Record the
-// run is observed at its linearization points through internal/record,
-// so the history reaching Stats.History is checkable like a simulated
-// one.
+// interface: workers are goroutines, the budget is transaction rounds,
+// and throughput is wall-clock real. Open starts a long-lived Session
+// on a fresh TM instance; Run is the batch convenience wrapper over
+// one (open → submit the Procs × OpsPerProc budget → close). With
+// SessionConfig.Record the run is observed at its linearization points
+// through internal/record, so the history reaching Stats.History is
+// checkable like a simulated one.
 type NativeEngine struct {
 	info native.Info
+	busy atomic.Bool
 }
 
 var _ Engine = (*NativeEngine)(nil)
@@ -76,259 +74,30 @@ func (t nativeTx) Write(i int, v int64) error {
 	}
 }
 
-// barrier is a cyclic rendezvous that tolerates departures: a process
-// that finishes its budget (or stops on an error) leaves, and the
-// remaining parties rendezvous among themselves instead of deadlocking
-// on the missing one.
-type barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	parties int
-	waiting int
-	phase   uint64
-}
-
-func newBarrier(parties int) *barrier {
-	b := &barrier{parties: parties}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// await blocks until every remaining party arrives.
-func (b *barrier) await() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	phase := b.phase
-	b.waiting++
-	if b.waiting >= b.parties {
-		b.waiting = 0
-		b.phase++
-		b.cond.Broadcast()
-		return
+// Open implements Engine: it starts a session with a worker pool of
+// real goroutines on a fresh TM instance.
+func (e *NativeEngine) Open(cfg SessionConfig) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(Native); err != nil {
+		return nil, err
 	}
-	for phase == b.phase {
-		b.cond.Wait()
+	b, err := openNativeSession(e.info, cfg)
+	if err != nil {
+		return nil, err
 	}
+	return &Session{name: e.info.Name, b: b}, nil
 }
 
-// leave removes the caller from the rendezvous set, releasing a
-// now-complete phase if it was the straggler.
-func (b *barrier) leave() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.parties--
-	if b.waiting > 0 && b.waiting >= b.parties {
-		b.waiting = 0
-		b.phase++
-		b.cond.Broadcast()
-	}
-}
-
-// Live-monitoring plumbing constants.
-const (
-	// liveStreamCap bounds the event channel between the recording
-	// processes and the monitor pump: backpressure, not loss. Sized so
-	// short checker pauses (a segment search) do not stall producers —
-	// the cap is the live path's memory/latency trade: smaller means
-	// earlier backpressure and faster stops, larger means less stall.
-	liveStreamCap = 16384
-	// liveRebiasEvery is how often (in observed events) the pump feeds
-	// measured starvation back into the backoff policy.
-	liveRebiasEvery = 256
-	// liveSegmentTxns is the live checker's default per-segment
-	// transaction budget (RunConfig.LiveSegmentTxns overrides).
-	liveSegmentTxns = 48
-	// liveQuiesceEvery is the default rendezvous interval of a live
-	// run when RunConfig.QuiesceEvery is 0: real quiescent cuts keep
-	// the live checker exact; the bounded-overlap fallback only has to
-	// absorb the windows that outrun the budget between cuts.
-	liveQuiesceEvery = 4
-)
-
-// liveState couples one live run's monitor, backoff feedback loop and
-// stop signal. The pump goroutine owns the monitor until done closes;
-// violation is written before stop closes and read after done, so the
-// channels order the accesses.
-type liveState struct {
-	mon       *monitor.Monitor
-	stop      chan struct{}
-	done      chan struct{}
-	violation error
-}
-
-// runPump feeds the live stream through the shared monitor pump
-// (record.Resequencer order restoration + monitor.Observe) while the
-// workload executes. A terminal safety error closes the stop channel —
-// the mid-flight cancellation — and the measured starvation rebiases
-// the backoff policy every liveRebiasEvery events.
-func runPump(ls *liveState, stream <-chan []record.Streamed, bo *native.Backoff, procs int) {
-	defer close(ls.done)
-	pump := &monitor.Pump{
-		Mon:   ls.mon,
-		Procs: procs,
-		OnViolation: func(err error) {
-			ls.violation = err
-			close(ls.stop)
-		},
-		RebiasEvery: liveRebiasEvery,
-		Rebias:      bo.Rebias,
-	}
-	pump.Run(stream)
-}
-
-// Run implements Engine.
+// Run implements Engine as a batch wrapper over Open: one session,
+// cfg.Procs workers, OpsPerProc pinned rounds per worker. A second
+// concurrent Run on the same engine value returns ErrBusy.
 func (e *NativeEngine) Run(cfg RunConfig, body TxBody) (Stats, error) {
 	if err := cfg.validate(Native); err != nil {
 		return Stats{}, err
 	}
-	tm, err := e.info.New(cfg.Vars)
-	if err != nil {
-		return Stats{}, err
+	if !e.busy.CompareAndSwap(false, true) {
+		return Stats{}, ErrBusy
 	}
-	obsTM, observable := tm.(native.ObservableTM)
-	recording := cfg.Record || cfg.Live
-	if recording && !observable {
-		return Stats{}, errors.New("engine: " + e.info.Name + " does not expose linearization-point hooks")
-	}
-	bo := native.NewBackoff(cfg.Procs)
-	var rec *record.Recorder
-	var live *liveState
-	if cfg.Live {
-		segTxns := cfg.LiveSegmentTxns
-		if segTxns == 0 {
-			segTxns = liveSegmentTxns
-		}
-		procs := make([]model.Proc, cfg.Procs)
-		for i := range procs {
-			procs[i] = model.Proc(i + 1)
-		}
-		mon, err := monitor.New(monitor.Config{
-			SegmentTxns: segTxns, TailWindow: cfg.LiveTailWindow, Procs: procs, Approx: true,
-		})
-		if err != nil {
-			return Stats{}, err
-		}
-		live = &liveState{mon: mon, stop: make(chan struct{}), done: make(chan struct{})}
-		rec = record.NewWithOptions(cfg.Procs, record.Options{
-			CapacityHint:   cfg.OpsPerProc*8 + 16,
-			StreamCapacity: liveStreamCap,
-			Stop:           live.stop,
-			// Without Record the stream is the only consumer, so the
-			// per-process chunk rings recycle and allocation stays flat.
-			DropStreamed: !cfg.Record,
-		})
-		go runPump(live, rec.Stream(), bo, cfg.Procs)
-	} else if cfg.Record {
-		// Pre-size each process's buffer for its committed rounds; a
-		// busier run grows process-locally, chunk by chunk.
-		rec = record.New(cfg.Procs, cfg.OpsPerProc*8+16)
-	}
-	quiesce := cfg.QuiesceEvery
-	if cfg.Live && quiesce == 0 {
-		quiesce = liveQuiesceEvery
-	}
-	if quiesce < 0 { // live with rendezvous explicitly disabled
-		quiesce = 0
-	}
-	var bar *barrier
-	if recording && quiesce > 0 {
-		bar = newBarrier(cfg.Procs)
-	}
-	commits := make([]uint64, cfg.Procs)
-	noCommits := make([]uint64, cfg.Procs)
-	errs := make([]error, cfg.Procs)
-	var stopped atomic.Bool
-	var wg sync.WaitGroup
-	for p := 0; p < cfg.Procs; p++ {
-		proc := p
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var obs native.Observer
-			if rec != nil {
-				obs = rec.Log(model.Proc(proc + 1))
-			}
-			var stop <-chan struct{}
-			if live != nil {
-				stop = live.stop
-			}
-			if bar != nil {
-				defer bar.leave()
-			}
-			for round := 0; round < cfg.OpsPerProc; round++ {
-				if stop != nil {
-					select {
-					case <-stop:
-						stopped.Store(true)
-						return
-					default:
-					}
-				}
-				if bar != nil && round > 0 && round%quiesce == 0 {
-					bar.await()
-				}
-				fn := func(tx native.Txn) error {
-					if err := body(proc, round, nativeTx{tx: tx}); errors.Is(err, ErrAborted) {
-						// Hand the abort back to the native retry loop.
-						return native.ErrAborted
-					} else {
-						return err
-					}
-				}
-				var err error
-				if observable {
-					err = obsTM.AtomicallyOpts(native.RunOpts{
-						Observer: obs, Stop: stop, Backoff: bo, Proc: proc,
-					}, fn)
-				} else {
-					err = tm.Atomically(fn)
-				}
-				switch {
-				case err == nil:
-					commits[proc]++
-				case errors.Is(err, ErrNoCommit):
-					noCommits[proc]++
-				case errors.Is(err, native.ErrStopped):
-					stopped.Store(true)
-					return
-				default:
-					errs[proc] = err
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if live != nil {
-		rec.CloseStream()
-		<-live.done
-	}
-
-	st := Stats{PerProcCommits: commits, Aborts: tm.Stats().Aborts, BackoffCap: bo.Cap()}
-	for p := 0; p < cfg.Procs; p++ {
-		st.Commits += commits[p]
-		st.NoCommits += noCommits[p]
-	}
-	if rec != nil {
-		st.RecorderChunks = rec.Chunks()
-		st.Truncated = rec.Truncated()
-	}
-	if cfg.Record && rec != nil {
-		st.History = rec.History()
-	}
-	if live != nil {
-		rep := live.mon.Report()
-		st.Live = &rep
-		st.Stopped = stopped.Load()
-		st.BackoffBias = bo.BiasSnapshot()
-		if live.violation != nil {
-			return st, fmt.Errorf("%w: %v", ErrLiveViolation, live.violation)
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return st, err
-		}
-	}
-	return st, nil
+	defer e.busy.Store(false)
+	return runOnSession(e, cfg, body)
 }

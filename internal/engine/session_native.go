@@ -1,0 +1,489 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"livetm/internal/model"
+	"livetm/internal/monitor"
+	"livetm/internal/native"
+	"livetm/internal/record"
+)
+
+// Live-monitoring plumbing constants.
+const (
+	// liveStreamCap bounds the event channel between the recording
+	// workers and the monitor pump: backpressure, not loss. Sized so
+	// short checker pauses (a segment search) do not stall producers —
+	// the cap is the live path's memory/latency trade: smaller means
+	// earlier backpressure and faster stops, larger means less stall.
+	liveStreamCap = 16384
+	// liveRebiasEvery is how often (in observed events) the pump feeds
+	// measured starvation back into the backoff policy.
+	liveRebiasEvery = 256
+	// liveSegmentTxns is the live checker's default per-segment
+	// transaction budget (SessionConfig.LiveSegmentTxns overrides).
+	liveSegmentTxns = 48
+	// liveQuiesceEvery is the default cut interval of a live session
+	// when SessionConfig.QuiesceEvery is 0: real quiescent cuts keep
+	// the live checker exact; the bounded-overlap fallback only has to
+	// absorb the windows that outrun the budget between cuts.
+	liveQuiesceEvery = 4
+	// recorderHint pre-sizes each worker's first event chunk. Sessions
+	// have no round budget to derive it from; the chunked buffers grow
+	// (or recycle) process-locally either way.
+	recorderHint = 1024
+)
+
+// liveState couples one live session's monitor, backoff feedback loop
+// and stop signal. The pump goroutine owns the monitor until done
+// closes; violation is written before stop closes and read after done,
+// so the channels order the accesses.
+type liveState struct {
+	mon       *monitor.Monitor
+	stop      chan struct{}
+	done      chan struct{}
+	violation error
+}
+
+// runPump feeds the live stream through the shared monitor pump
+// (record.Resequencer order restoration + monitor.Observe) while the
+// session executes. A terminal safety error closes the stop channel —
+// the mid-flight cancellation — and the measured starvation rebiases
+// the backoff policy every liveRebiasEvery events. The starvation
+// snapshot is sized for MaxWorkers but truncated to the admitted
+// prefix before rebiasing: provisioned-but-idle slots would otherwise
+// drag the mean down and classify every active worker as starved.
+func (s *nativeSession) runPump() {
+	ls := s.live
+	defer close(ls.done)
+	pump := &monitor.Pump{
+		Mon:   ls.mon,
+		Procs: s.cfg.MaxWorkers,
+		OnViolation: func(err error) {
+			ls.violation = err
+			close(ls.stop)
+		},
+		RebiasEvery: liveRebiasEvery,
+		Rebias: func(starvation []int) {
+			if n := int(s.admitted.Load()); n < len(starvation) {
+				starvation = starvation[:n]
+			}
+			s.bo.Rebias(starvation)
+		},
+	}
+	pump.Run(s.rec.Stream())
+}
+
+// sessionJob is one accepted submission.
+type sessionJob struct {
+	body Body
+	done func(error)
+}
+
+// nativeSession is the native-substrate session backend: a pool of
+// real goroutines pulling jobs from a shared lane plus per-worker
+// pinned lanes, with the recorder, live monitor and starvation-aware
+// backoff of the old batch Run now running for the session's lifetime.
+//
+// The lanes are condition-guarded queues, not channels, for one
+// deadlock-freedom property: an asynchronous submission (Submit, the
+// only kind a result callback may issue) never blocks, so a worker
+// running callbacks can always return to draining. Only Exec blocks —
+// for backpressure against QueueDepth — and Exec is forbidden in
+// callbacks, so the pool as a whole always makes progress.
+type nativeSession struct {
+	cfg   SessionConfig
+	tm    native.TM
+	obsTM native.ObservableTM
+	bo    *native.Backoff
+	rec   *record.Recorder
+	live  *liveState
+	// quiesce is the global completed-transaction interval between
+	// forced quiescent cuts, scaled by the admitted worker count so the
+	// cadence matches the old barrier's one rendezvous per
+	// QuiesceEvery rounds of every process (0 = never).
+	quiesce int
+	cutTick atomic.Int64
+
+	// cutMu is held shared around every transaction; a quiescent cut
+	// takes it exclusively, so at the instant the cut holds the lock no
+	// transaction is in flight anywhere and the recorded stream has a
+	// genuine cut at that stamp. Idle workers hold nothing, so — unlike
+	// the batch barrier — a cut never waits on a worker that has no
+	// work.
+	cutMu sync.RWMutex
+
+	mu        sync.Mutex
+	workCond  *sync.Cond // work arrived, or the session closed
+	roomCond  *sync.Cond // a lane drained below QueueDepth, or closed
+	sharedQ   []*sessionJob
+	pinnedQ   [][]*sessionJob
+	closed    bool
+	closeDone chan struct{} // the winning Close finished finalizing
+
+	admitted atomic.Int32
+	admitMu  sync.Mutex
+	wg       sync.WaitGroup
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	commits   []atomic.Uint64
+	noCommits atomic.Uint64
+	stopped   atomic.Bool
+
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
+	drainers  atomic.Int32
+
+	hist model.History
+}
+
+// openNativeSession starts the pool. cfg has defaults applied and is
+// validated for the native substrate.
+func openNativeSession(info native.Info, cfg SessionConfig) (*nativeSession, error) {
+	tm, err := info.New(cfg.Vars)
+	if err != nil {
+		return nil, err
+	}
+	obsTM, observable := tm.(native.ObservableTM)
+	recording := cfg.Record || cfg.Live
+	if recording && !observable {
+		return nil, errors.New("engine: " + info.Name + " does not expose linearization-point hooks")
+	}
+	s := &nativeSession{
+		cfg:       cfg,
+		tm:        tm,
+		bo:        native.NewBackoff(cfg.MaxWorkers),
+		pinnedQ:   make([][]*sessionJob, cfg.MaxWorkers),
+		commits:   make([]atomic.Uint64, cfg.MaxWorkers),
+		closeDone: make(chan struct{}),
+	}
+	if observable {
+		s.obsTM = obsTM
+	}
+	s.workCond = sync.NewCond(&s.mu)
+	s.roomCond = sync.NewCond(&s.mu)
+	s.drainCond = sync.NewCond(&s.drainMu)
+	if cfg.Live {
+		segTxns := cfg.LiveSegmentTxns
+		if segTxns == 0 {
+			segTxns = liveSegmentTxns
+		}
+		procs := make([]model.Proc, cfg.Workers)
+		for i := range procs {
+			procs[i] = model.Proc(i + 1)
+		}
+		mon, err := monitor.New(monitor.Config{
+			SegmentTxns: segTxns, TailWindow: cfg.LiveTailWindow, Procs: procs, Approx: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.live = &liveState{mon: mon, stop: make(chan struct{}), done: make(chan struct{})}
+		s.rec = record.NewWithOptions(cfg.MaxWorkers, record.Options{
+			CapacityHint:   recorderHint,
+			StreamCapacity: liveStreamCap,
+			Stop:           s.live.stop,
+			// Without Record the stream is the only consumer, so the
+			// per-process chunk rings recycle and allocation stays flat.
+			DropStreamed: !cfg.Record,
+		})
+		go s.runPump()
+	} else if cfg.Record {
+		s.rec = record.New(cfg.MaxWorkers, recorderHint)
+	}
+	s.quiesce = cfg.QuiesceEvery
+	if cfg.Live && s.quiesce == 0 {
+		s.quiesce = liveQuiesceEvery
+	}
+	if s.quiesce < 0 { // live with cuts explicitly disabled
+		s.quiesce = 0
+	}
+	if !recording {
+		s.quiesce = 0
+	}
+	s.spawn(cfg.Workers)
+	return s, nil
+}
+
+// spawn starts n more workers; the caller holds admitMu or is Open.
+func (s *nativeSession) spawn(n int) {
+	base := int(s.admitted.Load())
+	for i := 0; i < n; i++ {
+		p := base + i
+		s.wg.Add(1)
+		go s.worker(p)
+	}
+	s.admitted.Store(int32(base + n))
+}
+
+func (s *nativeSession) submit(ctx context.Context, worker int, body Body, done func(error), demand bool) error {
+	if worker != AnyWorker && (worker < 0 || worker >= int(s.admitted.Load())) {
+		return fmt.Errorf("engine: worker %d not admitted (have %d)", worker, s.admitted.Load())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if demand && s.laneLenLocked(worker) >= s.cfg.QueueDepth {
+		// Only blocking submissions (Exec) feel QueueDepth: they come
+		// from client goroutines that may wait (bounded by ctx).
+		// Asynchronous ones must never block — a worker's result
+		// callback may be the caller. The ctx watcher starts lazily:
+		// the common uncontended path pays no goroutine.
+		stop := watchCtx(ctx, func() {
+			s.mu.Lock()
+			s.roomCond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer stop()
+		for !s.closed && s.laneLenLocked(worker) >= s.cfg.QueueDepth {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			s.roomCond.Wait()
+		}
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	s.submitted.Add(1)
+	j := &sessionJob{body: body, done: done}
+	if worker == AnyWorker {
+		s.sharedQ = append(s.sharedQ, j)
+	} else {
+		s.pinnedQ[worker] = append(s.pinnedQ[worker], j)
+	}
+	// A pinned job must wake its specific worker, so broadcast rather
+	// than signal; spuriously woken workers go straight back to sleep.
+	s.workCond.Broadcast()
+	return nil
+}
+
+func (s *nativeSession) laneLenLocked(worker int) int {
+	if worker == AnyWorker {
+		return len(s.sharedQ)
+	}
+	return len(s.pinnedQ[worker])
+}
+
+// takeLocked pops worker p's next job, alternating which lane it
+// prefers on successive takes: a worker whose pinned lane is kept
+// permanently full must still serve the shared lane every other
+// transaction, so AnyWorker submissions cannot starve behind pinned
+// traffic (and vice versa). Caller holds mu.
+func (s *nativeSession) takeLocked(p int, tick int) *sessionJob {
+	j, ok := takeAlternating(&s.pinnedQ[p], &s.sharedQ, tick)
+	if !ok {
+		return nil
+	}
+	return j
+}
+
+// worker is one pool goroutine: it serves its pinned lane and the
+// shared lane until Close seals and drains them.
+func (s *nativeSession) worker(p int) {
+	defer s.wg.Done()
+	var obs native.Observer
+	if s.rec != nil {
+		obs = s.rec.Log(model.Proc(p + 1))
+	}
+	var stop <-chan struct{}
+	if s.live != nil {
+		stop = s.live.stop
+	}
+	for tick := 0; ; tick++ {
+		s.mu.Lock()
+		var j *sessionJob
+		for {
+			if j = s.takeLocked(p, tick); j != nil || s.closed {
+				break
+			}
+			s.workCond.Wait()
+		}
+		if j == nil { // closed with both lanes drained
+			s.mu.Unlock()
+			return
+		}
+		s.roomCond.Broadcast()
+		s.mu.Unlock()
+
+		res := s.execute(p, j.body, obs, stop)
+		switch {
+		case res == nil:
+			s.commits[p].Add(1)
+		case errors.Is(res, ErrNoCommit):
+			s.noCommits.Add(1)
+		case errors.Is(res, native.ErrStopped):
+			s.stopped.Store(true)
+			res = ErrStopped
+		}
+		if s.quiesce > 0 {
+			// One global cut per QuiesceEvery completed transactions of
+			// every admitted worker — the batch barrier's cadence,
+			// driven by a shared counter since workers are not in
+			// lockstep.
+			interval := int64(s.quiesce) * int64(s.admitted.Load())
+			if s.cutTick.Add(1)%interval == 0 {
+				s.forceCut()
+			}
+		}
+		if j.done != nil {
+			j.done(res)
+		}
+		s.completed.Add(1)
+		if s.drainers.Load() > 0 {
+			s.drainMu.Lock()
+			s.drainCond.Broadcast()
+			s.drainMu.Unlock()
+		}
+	}
+}
+
+// execute runs one submission as a transaction on worker p, retrying
+// through the native retry loop until commit, decline, stop, or a
+// terminal body error.
+func (s *nativeSession) execute(p int, body Body, obs native.Observer, stop <-chan struct{}) error {
+	if stop != nil {
+		select {
+		case <-stop:
+			return native.ErrStopped
+		default:
+		}
+	}
+	fn := func(tx native.Txn) error {
+		if err := body(nativeTx{tx: tx}); errors.Is(err, ErrAborted) {
+			// Hand the abort back to the native retry loop.
+			return native.ErrAborted
+		} else {
+			return err
+		}
+	}
+	if s.quiesce > 0 {
+		s.cutMu.RLock()
+		defer s.cutMu.RUnlock()
+	}
+	if s.obsTM != nil {
+		return s.obsTM.AtomicallyOpts(native.RunOpts{
+			Observer: obs, Stop: stop, Backoff: s.bo, Proc: p,
+		}, fn)
+	}
+	return s.tm.Atomically(fn)
+}
+
+// forceCut takes the cut lock exclusively: new transactions wait,
+// in-flight ones finish, and the instant the lock is held the recorded
+// stream has a quiescent cut — the streaming checker's flush point.
+func (s *nativeSession) forceCut() {
+	s.cutMu.Lock()
+	//lint:ignore SA2001 the empty critical section is the point: holding
+	// the lock exclusively for one instant is the quiescent cut.
+	s.cutMu.Unlock()
+}
+
+func (s *nativeSession) drain(ctx context.Context) error {
+	s.drainers.Add(1)
+	defer s.drainers.Add(-1)
+	stop := watchCtx(ctx, func() {
+		s.drainMu.Lock()
+		s.drainCond.Broadcast()
+		s.drainMu.Unlock()
+	})
+	defer stop()
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	for s.completed.Load() != s.submitted.Load() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.drainCond.Wait()
+	}
+	return nil
+}
+
+func (s *nativeSession) stats() SessionStats {
+	n := int(s.admitted.Load())
+	per := make([]uint64, n)
+	var total uint64
+	for p := 0; p < n; p++ {
+		per[p] = s.commits[p].Load()
+		total += per[p]
+	}
+	st := SessionStats{
+		Workers:          n,
+		Submitted:        s.submitted.Load(),
+		Completed:        s.completed.Load(),
+		Commits:          total,
+		Aborts:           s.tm.Stats().Aborts,
+		NoCommits:        s.noCommits.Load(),
+		PerWorkerCommits: per,
+		Stopped:          s.stopped.Load(),
+		BackoffCap:       s.bo.Cap(),
+	}
+	if s.live != nil {
+		st.BackoffBias = s.bo.BiasSnapshot()
+	}
+	if s.rec != nil {
+		st.RecorderChunks = s.rec.Chunks()
+		st.Truncated = s.rec.Truncated()
+	}
+	return st
+}
+
+func (s *nativeSession) addWorkers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("engine: AddWorkers needs a positive count, got %d", n)
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	// Spawn under mu so admission cannot race Close's wg.Wait: either
+	// the workers are registered before closed is set, or the admission
+	// is refused.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if have := int(s.admitted.Load()); have+n > s.cfg.MaxWorkers {
+		return fmt.Errorf("engine: %d workers admitted + %d exceeds MaxWorkers %d", have, n, s.cfg.MaxWorkers)
+	}
+	s.spawn(n)
+	return nil
+}
+
+func (s *nativeSession) close() (*monitor.Report, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		// Wait for the winning Close to finish finalizing, so a loser's
+		// follow-up History() never races the winner's writes.
+		<-s.closeDone
+		return nil, ErrClosed
+	}
+	s.closed = true
+	s.workCond.Broadcast()
+	s.roomCond.Broadcast()
+	s.mu.Unlock()
+	defer close(s.closeDone)
+	s.wg.Wait()
+
+	var rep *monitor.Report
+	var err error
+	if s.live != nil {
+		s.rec.CloseStream()
+		<-s.live.done
+		r := s.live.mon.Report()
+		rep = &r
+		if s.live.violation != nil {
+			err = fmt.Errorf("%w: %v", ErrLiveViolation, s.live.violation)
+		}
+	}
+	if s.cfg.Record && s.rec != nil {
+		s.hist = s.rec.History()
+	}
+	return rep, err
+}
+
+func (s *nativeSession) history() model.History { return s.hist }

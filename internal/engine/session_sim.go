@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"livetm/internal/model"
+	"livetm/internal/monitor"
+	"livetm/internal/sim"
+	"livetm/internal/stm"
+)
+
+// simJob is one accepted submission on the simulated substrate.
+type simJob struct {
+	body   Body
+	done   func(error)
+	demand bool
+}
+
+// simSession is the simulated-substrate session backend. One driver
+// goroutine owns the cooperative scheduler; the worker pool is a set
+// of sim processes that poll the session's queues at yield points. The
+// driver is demand-driven: it steps the scheduler only while a caller
+// blocks in Exec or Drain (or while Close drains), which is what makes
+// a batch of submissions deterministic — every job is enqueued before
+// the first step, and every follow-up submission from a completion
+// callback happens inside a step.
+//
+// The substrate keeps the paper's crash semantics: a terminal body
+// error has no abort request to issue for the implicit transaction, so
+// the worker crashes holding whatever it holds, and the session is
+// wedged — the error becomes the session's fatal condition, failing
+// every outstanding and future submission.
+type simSession struct {
+	cfg   SessionConfig
+	tm    stm.TM
+	rec   *stm.Recorder
+	sched *sim.Scheduler
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pinnedQ and sharedQ are the submission lanes; sim goroutines only
+	// touch them inside a scheduler step, the driver and clients under
+	// mu between steps.
+	pinnedQ  [][]*simJob
+	sharedQ  []*simJob
+	inflight []*simJob // per-worker job being executed
+	dead     []bool    // worker crashed on a terminal body error
+
+	outstanding int // accepted but not completed jobs
+	demand      int // outstanding jobs a caller blocks on
+	draining    int // Drain callers (and Close) currently waiting
+	steps       int
+	closing     bool
+	closed      bool
+	fatal       error
+
+	submitted uint64
+	completed uint64
+	commits   []uint64
+	aborts    uint64
+	noCommits uint64
+
+	driverDone chan struct{}
+	closeDone  chan struct{} // the winning close finished finalizing
+	hist       model.History
+}
+
+// openSimSession builds the TM, spawns the worker processes and starts
+// the driver. cfg has defaults applied and is validated for the
+// simulated substrate.
+func openSimSession(factory stm.Factory, cfg SessionConfig) (*simSession, error) {
+	s := &simSession{
+		cfg:        cfg,
+		sched:      sim.New(sim.NewSeeded(cfg.Seed)),
+		pinnedQ:    make([][]*simJob, cfg.Workers),
+		inflight:   make([]*simJob, cfg.Workers),
+		dead:       make([]bool, cfg.Workers),
+		commits:    make([]uint64, cfg.Workers),
+		driverDone: make(chan struct{}),
+		closeDone:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.tm = factory(cfg.Workers, cfg.Vars)
+	if cfg.Record {
+		s.rec = stm.NewRecorder(s.tm)
+		s.tm = s.rec
+	}
+	for p := 0; p < cfg.Workers; p++ {
+		if err := s.sched.Spawn(model.Proc(p+1), s.workerBody(p)); err != nil {
+			s.sched.Close()
+			return nil, err
+		}
+	}
+	go s.drive()
+	return s, nil
+}
+
+// submit never blocks on the simulated substrate (the lanes are
+// unbounded: backpressure is meaningless when execution is demand-
+// driven), so the context is unused.
+func (s *simSession) submit(_ context.Context, worker int, body Body, done func(error), demand bool) error {
+	if worker != AnyWorker && (worker < 0 || worker >= s.cfg.Workers) {
+		return fmt.Errorf("engine: worker %d out of range (have %d)", worker, s.cfg.Workers)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.closing {
+		return ErrClosed
+	}
+	if s.fatal != nil {
+		return s.fatal
+	}
+	j := &simJob{body: body, done: done, demand: demand}
+	if worker == AnyWorker {
+		s.sharedQ = append(s.sharedQ, j)
+	} else {
+		s.pinnedQ[worker] = append(s.pinnedQ[worker], j)
+	}
+	s.outstanding++
+	s.submitted++
+	if demand {
+		s.demand++
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// takeLocked pops worker p's next job, alternating lane preference on
+// successive takes like the native pool, so neither lane can starve
+// behind sustained traffic on the other. Caller holds mu.
+func (s *simSession) takeLocked(p, tick int) *simJob {
+	j, ok := takeAlternating(&s.pinnedQ[p], &s.sharedQ, tick)
+	if !ok {
+		return nil
+	}
+	return j
+}
+
+// workerBody is worker p's sim-process loop: take a job, execute it
+// through the retry loop, park while idle. Parking (not yield-
+// spinning) keeps an idle worker out of the runnable set, so it
+// consumes none of the step budget — exactly like the old batch
+// loops, where a process with no rounds left was simply gone. A
+// terminal body error crashes the worker (the loop returns with the
+// implicit transaction still live).
+func (s *simSession) workerBody(p int) func(*sim.Env) {
+	return func(env *sim.Env) {
+		for tick := 0; ; tick++ {
+			s.mu.Lock()
+			j := s.takeLocked(p, tick)
+			s.inflight[p] = j
+			done := s.closing && s.outstanding == 0
+			if j == nil && !done {
+				// Atomically with the empty-queue observation, so a
+				// submission arriving now sees the parked flag and the
+				// driver unparks before its next step.
+				s.sched.Park(model.Proc(p + 1))
+			}
+			s.mu.Unlock()
+			if j == nil {
+				if done {
+					return
+				}
+				env.Yield()
+				continue
+			}
+			if !s.runJob(p, env, j) {
+				return
+			}
+		}
+	}
+}
+
+// runJob executes one submission as repeated transaction attempts
+// until it commits, is declined, or fails terminally. It reports
+// whether the worker survives.
+func (s *simSession) runJob(p int, env *sim.Env, j *simJob) bool {
+	for {
+		tx := &simTx{tm: s.tm, env: env, vars: s.cfg.Vars}
+		err := j.body(tx)
+		switch {
+		case errors.Is(err, ErrNoCommit):
+			// The implicit transaction stays live (parasitic); yield so
+			// a body that issued no operation cannot monopolize the
+			// scheduler.
+			s.finish(p, j, ErrNoCommit)
+			env.Yield()
+			return true
+		case err == nil && !tx.aborted:
+			if s.tm.TryCommit(env) == stm.OK {
+				s.finish(p, j, nil)
+				return true
+			}
+			s.countAbort()
+		case err == nil || errors.Is(err, ErrAborted):
+			s.countAbort()
+		default:
+			// A terminal body error: the process behaves like a crash
+			// (it holds whatever it holds), exactly as the paper's
+			// model prescribes, and the session is wedged on it.
+			s.fail(p, j, err)
+			return false
+		}
+	}
+}
+
+func (s *simSession) countAbort() {
+	s.mu.Lock()
+	s.aborts++
+	s.mu.Unlock()
+}
+
+// finish completes one job. The callback runs before the job is
+// accounted complete, so a callback that submits follow-up work never
+// lets the session drain between rounds.
+func (s *simSession) finish(p int, j *simJob, res error) {
+	if res == nil {
+		s.mu.Lock()
+		s.commits[p]++
+		s.mu.Unlock()
+	} else if errors.Is(res, ErrNoCommit) {
+		s.mu.Lock()
+		s.noCommits++
+		s.mu.Unlock()
+	}
+	if j.done != nil {
+		j.done(res)
+	}
+	s.mu.Lock()
+	s.inflight[p] = nil
+	s.completeLocked(j)
+	s.mu.Unlock()
+}
+
+// completeLocked retires one accepted job. Caller holds mu.
+func (s *simSession) completeLocked(j *simJob) {
+	s.outstanding--
+	s.completed++
+	if j.demand {
+		s.demand--
+	}
+	s.cond.Broadcast()
+}
+
+// fail marks the session fatally wedged on a terminal body error and
+// completes the failing job; the driver fails everything else.
+func (s *simSession) fail(p int, j *simJob, err error) {
+	if j.done != nil {
+		j.done(err)
+	}
+	s.mu.Lock()
+	s.dead[p] = true
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	s.inflight[p] = nil
+	s.completeLocked(j)
+	s.mu.Unlock()
+}
+
+// shouldStepLocked reports whether the driver has both work and
+// demand. Caller holds mu.
+func (s *simSession) shouldStepLocked() bool {
+	return s.outstanding > 0 && (s.demand > 0 || s.draining > 0 || s.closing)
+}
+
+// unparkLocked wakes every parked worker that has work: its pinned
+// lane is non-empty, or the shared lane is. Caller holds mu; the
+// driver owns the scheduler, so parking state only changes here and in
+// the workers' own (mu-guarded) park calls.
+func (s *simSession) unparkLocked() {
+	shared := len(s.sharedQ) > 0
+	for p := 0; p < s.cfg.Workers; p++ {
+		if s.dead[p] {
+			continue
+		}
+		if shared || len(s.pinnedQ[p]) > 0 {
+			s.sched.Unpark(model.Proc(p + 1))
+		}
+	}
+}
+
+// drive owns the scheduler: it steps while there is demanded work,
+// sleeps otherwise, and on a fatal condition (terminal body error,
+// exhausted step budget, or a fully wedged process set) fails every
+// outstanding submission.
+func (s *simSession) drive() {
+	defer close(s.driverDone)
+	s.mu.Lock()
+	for {
+		for s.fatal == nil && !s.shouldStepLocked() && !(s.closing && s.outstanding == 0) {
+			s.cond.Wait()
+		}
+		if s.fatal != nil || (s.closing && s.outstanding == 0) {
+			break
+		}
+		if s.steps >= s.cfg.SimSteps {
+			s.fatal = ErrStepBudget
+			break
+		}
+		s.unparkLocked()
+		s.mu.Unlock()
+		progressed := s.sched.Step()
+		s.mu.Lock()
+		if !progressed {
+			// Nothing runnable — every worker crashed or finished —
+			// with submissions still outstanding.
+			s.fatal = fmt.Errorf("%w: no runnable process", ErrStepBudget)
+			break
+		}
+		s.steps++
+	}
+	// Fail whatever is still queued or in flight; the callbacks run
+	// outside the lock (they may re-enter submit and get the fatal
+	// error back).
+	var orphans []*simJob
+	if s.fatal != nil {
+		for _, q := range s.pinnedQ {
+			orphans = append(orphans, q...)
+		}
+		for p := range s.pinnedQ {
+			s.pinnedQ[p] = nil
+		}
+		orphans = append(orphans, s.sharedQ...)
+		s.sharedQ = nil
+		for p, j := range s.inflight {
+			if j != nil {
+				orphans = append(orphans, j)
+				s.inflight[p] = nil
+			}
+		}
+		for _, j := range orphans {
+			s.completeLocked(j)
+		}
+	}
+	fatal := s.fatal
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range orphans {
+		if j.done != nil {
+			j.done(fatal)
+		}
+	}
+}
+
+func (s *simSession) drain(ctx context.Context) error {
+	stop := watchCtx(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining++
+	s.cond.Broadcast()
+	defer func() { s.draining-- }()
+	for s.outstanding > 0 && s.fatal == nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.cond.Wait()
+	}
+	return s.fatal
+}
+
+func (s *simSession) stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := append([]uint64(nil), s.commits...)
+	var total uint64
+	for _, c := range per {
+		total += c
+	}
+	return SessionStats{
+		Workers:          s.cfg.Workers,
+		Submitted:        s.submitted,
+		Completed:        s.completed,
+		Commits:          total,
+		Aborts:           s.aborts,
+		NoCommits:        s.noCommits,
+		PerWorkerCommits: per,
+		Steps:            s.steps,
+	}
+}
+
+func (s *simSession) addWorkers(int) error {
+	return errors.New("engine: the simulated substrate has a fixed worker set")
+}
+
+func (s *simSession) close() (*monitor.Report, error) {
+	s.mu.Lock()
+	if s.closing || s.closed {
+		s.mu.Unlock()
+		// Wait for the winning close to finish finalizing, so a loser's
+		// follow-up History() never races the winner's writes.
+		<-s.closeDone
+		return nil, ErrClosed
+	}
+	s.closing = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	defer close(s.closeDone)
+	<-s.driverDone
+	s.mu.Lock()
+	s.closed = true
+	err := s.fatal
+	s.mu.Unlock()
+	s.sched.Close()
+	if s.rec != nil {
+		s.hist = s.rec.History()
+	}
+	return nil, err
+}
+
+func (s *simSession) history() model.History { return s.hist }

@@ -1,0 +1,507 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"livetm/internal/native"
+)
+
+// openTestSession opens a session on a registry engine or fails the
+// test.
+func openTestSession(t *testing.T, name string, cfg SessionConfig) *Session {
+	t.Helper()
+	cfg.Engine = name
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	return s
+}
+
+// counterSessionBody increments variable x once.
+func counterSessionBody(x int) Body {
+	return func(tx Tx) error {
+		v, err := tx.Read(x)
+		if err != nil {
+			return err
+		}
+		return tx.Write(x, v+1)
+	}
+}
+
+// TestSessionExecBothSubstrates: the basic session loop — open, Exec a
+// few transactions, Stats, Close — commits on both substrates, and the
+// committed increments are all there.
+func TestSessionExecBothSubstrates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  SessionConfig
+	}{
+		{"native-tl2", SessionConfig{Workers: 2, Vars: 1}},
+		{"sim-tl2", SessionConfig{Workers: 2, Vars: 1, SimSteps: 50000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTestSession(t, tc.name, tc.cfg)
+			const n = 20
+			for i := 0; i < n; i++ {
+				if err := s.Exec(context.Background(), counterSessionBody(0)); err != nil {
+					t.Fatalf("exec %d: %v", i, err)
+				}
+			}
+			var got int64
+			if err := s.Exec(context.Background(), func(tx Tx) error {
+				v, err := tx.Read(0)
+				got = v
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got != n {
+				t.Errorf("counter = %d, want %d", got, n)
+			}
+			st := s.Stats()
+			if st.Commits != n+1 || st.Submitted != n+1 || st.Completed != n+1 {
+				t.Errorf("stats = %+v, want %d commits/submitted/completed", st, n+1)
+			}
+			if rep, err := s.Close(); err != nil || rep != nil {
+				t.Fatalf("close: rep=%v err=%v, want nil/nil on a non-live session", rep, err)
+			}
+		})
+	}
+}
+
+// TestSessionMoreSubmittersThanWorkers floods a small pool from many
+// client goroutines: every submission must execute exactly once, and
+// the counter must account for every commit. Run with -race.
+func TestSessionMoreSubmittersThanWorkers(t *testing.T) {
+	const workers, submitters, perSubmitter = 2, 9, 40
+	s := openTestSession(t, "native-tinystm", SessionConfig{Workers: workers, Vars: 1, QueueDepth: 4})
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perSubmitter; j++ {
+				if err := s.Exec(context.Background(), counterSessionBody(0)); err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d submissions failed", failed.Load())
+	}
+	st := s.Stats()
+	const want = submitters * perSubmitter
+	if st.Commits != want || st.Completed != want {
+		t.Errorf("commits=%d completed=%d, want %d", st.Commits, st.Completed, want)
+	}
+	if len(st.PerWorkerCommits) != workers {
+		t.Errorf("per-worker commits cover %d workers, want %d", len(st.PerWorkerCommits), workers)
+	}
+	var final int64
+	if err := s.Exec(context.Background(), func(tx Tx) error {
+		v, err := tx.Read(0)
+		final = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if final != want {
+		t.Errorf("counter = %d, want %d", final, want)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionCloseDrainsInFlight: Close must execute everything
+// already accepted — async submissions included — before returning,
+// and late submissions must fail with ErrClosed. Run with -race.
+func TestSessionCloseDrainsInFlight(t *testing.T) {
+	s := openTestSession(t, "native-norec", SessionConfig{Workers: 3, Vars: 1, QueueDepth: 8})
+	const n = 300
+	var done atomic.Int64
+	for i := 0; i < n; i++ {
+		if err := s.Submit(counterSessionBody(0), func(err error) {
+			if err == nil {
+				done.Add(1)
+			}
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Load(); got != n {
+		t.Errorf("%d of %d accepted submissions completed across Close", got, n)
+	}
+	st := s.Stats()
+	if st.Submitted != n || st.Completed != n || st.Commits != n {
+		t.Errorf("stats after close = %+v, want %d everywhere", st, n)
+	}
+}
+
+// TestSessionMisuse: Exec/Submit after Close and double Close return
+// ErrClosed on both substrates; out-of-range workers are rejected.
+func TestSessionMisuse(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  SessionConfig
+	}{
+		{"native-tl2", SessionConfig{Workers: 1, Vars: 1}},
+		{"sim-dstm", SessionConfig{Workers: 1, Vars: 1, SimSteps: 1000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTestSession(t, tc.name, tc.cfg)
+			if err := s.ExecOn(context.Background(), 7, counterSessionBody(0)); err == nil {
+				t.Error("ExecOn an unadmitted worker must error")
+			}
+			if _, err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Exec(context.Background(), counterSessionBody(0)); !errors.Is(err, ErrClosed) {
+				t.Errorf("Exec after Close: err = %v, want ErrClosed", err)
+			}
+			if err := s.Submit(counterSessionBody(0), nil); !errors.Is(err, ErrClosed) {
+				t.Errorf("Submit after Close: err = %v, want ErrClosed", err)
+			}
+			if _, err := s.Close(); !errors.Is(err, ErrClosed) {
+				t.Errorf("second Close: err = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestConcurrentRunReturnsErrBusy: a second Run on an engine value
+// that is already running must fail with ErrBusy instead of racing on
+// the instance. Run with -race.
+func TestConcurrentRunReturnsErrBusy(t *testing.T) {
+	t.Run("native", func(t *testing.T) {
+		e, _ := Lookup("native-tl2")
+		started := make(chan struct{})
+		release := make(chan struct{})
+		done := make(chan struct{})
+		var once sync.Once
+		go func() {
+			defer close(done)
+			_, err := e.Run(RunConfig{Procs: 1, Vars: 1, OpsPerProc: 1},
+				func(proc, round int, tx Tx) error {
+					once.Do(func() { close(started) })
+					<-release
+					return tx.Write(0, 1)
+				})
+			if err != nil {
+				t.Errorf("blocked run: %v", err)
+			}
+		}()
+		<-started
+		if _, err := e.Run(RunConfig{Procs: 1, Vars: 1, OpsPerProc: 1}, counterBody(0)); !errors.Is(err, ErrBusy) {
+			t.Errorf("concurrent Run: err = %v, want ErrBusy", err)
+		}
+		close(release)
+		<-done
+	})
+	t.Run("sim", func(t *testing.T) {
+		e, _ := Lookup("sim-tl2")
+		var nested error
+		_, err := e.Run(RunConfig{Procs: 1, Vars: 1, SimSteps: 1000, OpsPerProc: 1},
+			func(proc, round int, tx Tx) error {
+				// Re-entering Run from a body is the deterministic way to
+				// observe the guard on the synchronous substrate.
+				_, nested = e.Run(RunConfig{Procs: 1, Vars: 1, SimSteps: 10, OpsPerProc: 1}, counterBody(0))
+				return tx.Write(0, 1)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(nested, ErrBusy) {
+			t.Errorf("nested Run: err = %v, want ErrBusy", nested)
+		}
+	})
+}
+
+// TestSessionLiveViolationStops: a live session around the violating
+// TM must stop mid-session — in-flight and later submissions fail with
+// ErrStopped — and Close must return ErrLiveViolation with the failing
+// verdict in the final report. Run with -race.
+func TestSessionLiveViolationStops(t *testing.T) {
+	s, err := bogusEngine().Open(SessionConfig{Workers: 3, Vars: 2, Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stopped bool
+	for i := 0; i < 200000; i++ {
+		err := s.Exec(context.Background(), func(tx Tx) error {
+			_, err := tx.Read(0)
+			return err
+		})
+		if errors.Is(err, ErrStopped) {
+			stopped = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("exec %d: %v", i, err)
+		}
+	}
+	if !stopped {
+		t.Fatal("no submission was stopped by the live monitor")
+	}
+	if err := s.Exec(context.Background(), counterSessionBody(0)); !errors.Is(err, ErrStopped) {
+		t.Errorf("post-stop Exec: err = %v, want ErrStopped", err)
+	}
+	rep, err := s.Close()
+	if !errors.Is(err, ErrLiveViolation) {
+		t.Fatalf("close: err = %v, want ErrLiveViolation", err)
+	}
+	if rep == nil || !rep.Checked || rep.Opacity.Holds {
+		t.Fatalf("final report must carry the violation: %+v", rep)
+	}
+	if !s.Stats().Stopped {
+		t.Error("Stats.Stopped must report the mid-session stop")
+	}
+}
+
+// TestSessionLiveHealthySoak: a healthy live session serves a batch of
+// concurrent submitters with the monitor running for the session's
+// lifetime, and Close returns a holding verdict with per-worker
+// accounting. Run with -race.
+func TestSessionLiveHealthySoak(t *testing.T) {
+	const workers, submitters, per = 3, 6, 60
+	s := openTestSession(t, "native-tl2", SessionConfig{Workers: workers, Vars: 2, Live: true})
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if err := s.Exec(context.Background(), counterSessionBody(j%2)); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mid := s.Stats()
+	if mid.Commits != submitters*per {
+		t.Errorf("mid-flight commits = %d, want %d", mid.Commits, submitters*per)
+	}
+	if mid.BackoffCap != native.DefaultBackoffCap || len(mid.BackoffBias) != workers {
+		t.Errorf("backoff snapshot = cap %d bias %v, want cap %d over %d workers",
+			mid.BackoffCap, mid.BackoffBias, native.DefaultBackoffCap, workers)
+	}
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || !rep.Checked || !rep.Opacity.Holds {
+		t.Fatalf("healthy soak verdict: %+v", rep)
+	}
+	if len(rep.Procs) != workers {
+		t.Errorf("report covers %d procs, want %d", len(rep.Procs), workers)
+	}
+	if s.History() != nil {
+		t.Error("live session without Record must retain no history")
+	}
+}
+
+// TestSessionAddWorkers: dynamic admission grows the pool up to
+// MaxWorkers mid-session, newly admitted workers serve pinned
+// submissions, and the recorded stream stays correct (the live monitor
+// absorbs the new process). The simulated substrate refuses. Run with
+// -race.
+func TestSessionAddWorkers(t *testing.T) {
+	s := openTestSession(t, "native-dstm", SessionConfig{Workers: 1, MaxWorkers: 3, Vars: 1, Live: true})
+	if err := s.Exec(context.Background(), counterSessionBody(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddWorkers(2); err != nil {
+		t.Fatalf("AddWorkers: %v", err)
+	}
+	if got := s.Stats().Workers; got != 3 {
+		t.Fatalf("admitted workers = %d, want 3", got)
+	}
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 8; i++ {
+			if err := s.ExecOn(context.Background(), w, counterSessionBody(0)); err != nil {
+				t.Fatalf("worker %d: %v", w, err)
+			}
+		}
+	}
+	if err := s.AddWorkers(1); err == nil {
+		t.Error("admission beyond MaxWorkers must error")
+	}
+	rep, err := s.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Checked || !rep.Opacity.Holds {
+		t.Fatalf("verdict after dynamic admission: %+v", rep.Opacity)
+	}
+	st := s.Stats()
+	if st.Commits != 1+3*8 {
+		t.Errorf("commits = %d, want %d", st.Commits, 1+3*8)
+	}
+	for w, c := range st.PerWorkerCommits[1:] {
+		if c != 8 {
+			t.Errorf("late worker %d commits = %d, want 8", w+1, c)
+		}
+	}
+
+	sim := openTestSession(t, "sim-tl2", SessionConfig{Workers: 1, Vars: 1, SimSteps: 100})
+	defer sim.Close()
+	if err := sim.AddWorkers(1); err == nil {
+		t.Error("the simulated substrate must refuse dynamic admission")
+	}
+}
+
+// TestSessionSimFatalBodyError: on the cooperative substrate a
+// terminal body error crashes the worker with its implicit transaction
+// live, wedging the session: the failing Exec returns the error, later
+// submissions fail with it, and Close reports it.
+func TestSessionSimFatalBodyError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	s := openTestSession(t, "sim-glock", SessionConfig{Workers: 2, Vars: 1, SimSteps: 100000})
+	if err := s.Exec(context.Background(), func(tx Tx) error {
+		if err := tx.Write(0, 1); err != nil {
+			return err
+		}
+		return sentinel // exits holding the global lock
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("exec: err = %v, want sentinel", err)
+	}
+	if err := s.Exec(context.Background(), counterSessionBody(0)); !errors.Is(err, sentinel) {
+		t.Errorf("post-crash Exec: err = %v, want the wedging error", err)
+	}
+	if _, err := s.Close(); !errors.Is(err, sentinel) {
+		t.Errorf("close: err = %v, want the wedging error", err)
+	}
+}
+
+// TestRunSessionEquivalence: the batch Run and an equivalent explicit
+// session submission (every round pinned to its worker, drained, then
+// closed) produce identical commit totals, per-worker splits, aborts
+// and step counts on the deterministic substrate.
+func TestRunSessionEquivalence(t *testing.T) {
+	const procs, ops, vars = 3, 8, 2
+	cfg := RunConfig{Procs: procs, Vars: vars, Seed: 17, OpsPerProc: ops, SimSteps: 100000}
+	e, _ := Lookup("sim-tl2")
+	batch, err := e.Run(cfg, mixedBody(vars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Commits == 0 {
+		t.Fatal("batch run committed nothing")
+	}
+
+	s, err := e.Open(SessionConfig{Workers: procs, Vars: vars, Seed: 17, SimSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := mixedBody(vars)
+	for p := 0; p < procs; p++ {
+		for r := 0; r < ops; r++ {
+			p, r := p, r
+			if err := s.SubmitOn(p, func(tx Tx) error { return body(p, r, tx) }, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Commits != batch.Commits || st.Aborts != batch.Aborts || st.Steps != batch.Steps {
+		t.Fatalf("session run diverged: commits %d/%d aborts %d/%d steps %d/%d",
+			st.Commits, batch.Commits, st.Aborts, batch.Aborts, st.Steps, batch.Steps)
+	}
+	for p := range st.PerWorkerCommits {
+		if st.PerWorkerCommits[p] != batch.PerProcCommits[p] {
+			t.Fatalf("worker %d diverged: %v vs %v", p, st.PerWorkerCommits, batch.PerProcCommits)
+		}
+	}
+}
+
+// TestSessionCallbackResubmitSaturated: result callbacks that submit
+// follow-up work must never deadlock the pool, even with every lane at
+// its backpressure threshold — async Submit is non-blocking by
+// contract, only Exec feels QueueDepth. Run with -race.
+func TestSessionCallbackResubmitSaturated(t *testing.T) {
+	const workers, chains, depth = 2, 60, 5
+	s := openTestSession(t, "native-tl2", SessionConfig{Workers: workers, Vars: 1, QueueDepth: 1})
+	var done atomic.Int64
+	var submit func(left int) error
+	submit = func(left int) error {
+		return s.Submit(counterSessionBody(0), func(err error) {
+			if err != nil {
+				t.Errorf("chained submission: %v", err)
+				return
+			}
+			done.Add(1)
+			if left > 1 {
+				if err := submit(left - 1); err != nil {
+					t.Errorf("resubmit: %v", err)
+				}
+			}
+		})
+	}
+	for i := 0; i < chains; i++ {
+		if err := submit(depth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Load(); got != chains*depth {
+		t.Fatalf("completed %d of %d chained submissions", got, chains*depth)
+	}
+}
+
+// TestSessionExecBackpressureHonorsContext: an Exec blocked in the
+// QueueDepth admission wait must abandon it when its context ends,
+// instead of waiting for room indefinitely. Run with -race.
+func TestSessionExecBackpressureHonorsContext(t *testing.T) {
+	s := openTestSession(t, "native-tl2", SessionConfig{Workers: 1, Vars: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	if err := s.SubmitOn(0, func(tx Tx) error {
+		<-release // occupy the only worker
+		return tx.Write(0, 1)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitOn(0, counterSessionBody(0), nil); err != nil {
+		t.Fatal(err) // fills the pinned lane to QueueDepth
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	execErr := make(chan error, 1)
+	go func() { execErr <- s.ExecOn(ctx, 0, counterSessionBody(0)) }()
+	cancel()
+	if err := <-execErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked Exec: err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Completed; got != 2 {
+		t.Fatalf("completed = %d, want 2 (the cancelled Exec was never admitted)", got)
+	}
+}

@@ -1,8 +1,8 @@
 package engine
 
 import (
-	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"livetm/internal/model"
 	"livetm/internal/sim"
@@ -10,11 +10,14 @@ import (
 )
 
 // Sim adapts a simulated TM (an stm.Factory driven by the
-// cooperative scheduler) to the Engine interface.
+// cooperative scheduler) to the Engine interface. Open starts a
+// long-lived demand-driven Session (see Session); Run is the batch
+// convenience wrapper over one.
 type Sim struct {
 	algorithm   string
 	factory     stm.Factory
 	nonblocking bool
+	busy        atomic.Bool
 }
 
 var _ Engine = (*Sim)(nil)
@@ -81,79 +84,31 @@ func (tx *simTx) Write(i int, v int64) error {
 	return nil
 }
 
-// Run implements Engine.
+// Open implements Engine: it starts a demand-driven session under the
+// deterministic cooperative scheduler on a fresh TM instance.
+func (e *Sim) Open(cfg SessionConfig) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(Simulated); err != nil {
+		return nil, err
+	}
+	b, err := openSimSession(e.factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{name: e.Name(), b: b}, nil
+}
+
+// Run implements Engine as a batch wrapper over Open: one session,
+// cfg.Procs workers, OpsPerProc pinned rounds per worker (0 keeps
+// every worker loaded until the step budget runs out). A second
+// concurrent Run on the same engine value returns ErrBusy.
 func (e *Sim) Run(cfg RunConfig, body TxBody) (Stats, error) {
 	if err := cfg.validate(Simulated); err != nil {
 		return Stats{}, err
 	}
-	tm := e.factory(cfg.Procs, cfg.Vars)
-	var rec *stm.Recorder
-	if cfg.Record {
-		rec = stm.NewRecorder(tm)
-		tm = rec
+	if !e.busy.CompareAndSwap(false, true) {
+		return Stats{}, ErrBusy
 	}
-	s := sim.New(sim.NewSeeded(cfg.Seed))
-	defer s.Close()
-
-	commits := make([]uint64, cfg.Procs)
-	var aborts, noCommits uint64
-	var failed bool
-	errs := make([]error, cfg.Procs)
-	for p := 0; p < cfg.Procs; p++ {
-		proc := p
-		_ = s.Spawn(model.Proc(proc+1), func(env *sim.Env) {
-			for round := 0; cfg.OpsPerProc == 0 || round < cfg.OpsPerProc; {
-				tx := &simTx{tm: tm, env: env, vars: cfg.Vars}
-				err := body(proc, round, tx)
-				switch {
-				case errors.Is(err, ErrNoCommit):
-					noCommits++
-					round++
-					// The implicit transaction stays live (parasitic);
-					// yield so a body that issued no operation cannot
-					// monopolize the scheduler.
-					env.Yield()
-				case err == nil && !tx.aborted:
-					if tm.TryCommit(env) == stm.OK {
-						commits[proc]++
-						round++
-					} else {
-						aborts++
-					}
-				case err == nil || errors.Is(err, ErrAborted):
-					aborts++
-				default:
-					// A terminal body error: stop the run. The errored
-					// process's implicit transaction stays live — the
-					// request/response model has no abort request to
-					// issue for it, so the process behaves like a crash
-					// (it holds whatever it holds), exactly as the
-					// paper's model prescribes.
-					errs[proc] = err
-					failed = true
-					return
-				}
-			}
-		})
-	}
-	// Step manually rather than s.Run so a body error ends the run at
-	// the next step instead of burning the whole budget.
-	steps := 0
-	for steps < cfg.SimSteps && !failed && s.Step() {
-		steps++
-	}
-
-	st := Stats{PerProcCommits: commits, Aborts: aborts, NoCommits: noCommits, Steps: steps}
-	for _, c := range commits {
-		st.Commits += c
-	}
-	if rec != nil {
-		st.History = rec.History()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return st, err
-		}
-	}
-	return st, nil
+	defer e.busy.Store(false)
+	return runOnSession(e, cfg, body)
 }

@@ -313,6 +313,9 @@ func (r Report) Format() string {
 	fmt.Fprintf(&b, "events=%d segments=%d opaque=%v", r.Events, r.Opacity.Segments, r.Opacity.Holds && r.Checked)
 	if r.Opacity.Approx {
 		fmt.Fprintf(&b, " (approximate: %d forced frontiers)", r.Opacity.ForcedCuts)
+		if r.Opacity.RelaxedStraddlers > 0 {
+			fmt.Fprintf(&b, " (%d straddler reads waived)", r.Opacity.RelaxedStraddlers)
+		}
 	}
 	if !r.Checked {
 		fmt.Fprintf(&b, " (not decided: %s)", r.Opacity.Reason)

@@ -100,6 +100,11 @@ type Recorder struct {
 	logs   []*ProcLog
 	stream chan []Streamed
 	stop   <-chan struct{}
+	// chunks and truncated aggregate the per-log figures atomically so
+	// Chunks and Truncated can be snapshotted mid-run (a live session's
+	// Stats) while the logs are still appending.
+	chunks    atomic.Int64
+	truncated atomic.Bool
 }
 
 // New creates a recorder for procs processes (model.Proc identifiers 1
@@ -170,14 +175,9 @@ func (r *Recorder) Log(p model.Proc) *ProcLog {
 // dropped events. A truncated history is still well-formed — each log
 // cuts at an event boundary — but it is a prefix of the run per
 // process, not of the whole run, so checker verdicts on it are
-// advisory.
+// advisory. Safe to call while the run is still recording.
 func (r *Recorder) Truncated() bool {
-	for _, l := range r.logs {
-		if l.full {
-			return true
-		}
-	}
-	return false
+	return r.truncated.Load()
 }
 
 // Events returns the total number of recorded events (including
@@ -193,12 +193,9 @@ func (r *Recorder) Events() int {
 // Chunks returns the total number of buffer chunks allocated across
 // all processes — the recorder's allocation figure. In drop mode it
 // stays at one ring chunk per process no matter how long the run is.
+// Safe to call while the run is still recording.
 func (r *Recorder) Chunks() int {
-	n := 0
-	for _, l := range r.logs {
-		n += l.allocs
-	}
-	return n
+	return int(r.chunks.Load())
 }
 
 // History drains the recorder: the per-process buffers merged by
@@ -238,22 +235,21 @@ func (r *Recorder) History() model.History {
 // native.Observer: the engine hands it to the native retry loop, which
 // calls it at every linearization point on the process's goroutine.
 type ProcLog struct {
-	rec    *Recorder
-	proc   model.Proc
-	done   [][]stamped // filled chunks, in order (retained mode)
-	cur    []stamped   // chunk being filled
-	count  int         // events recorded over the log's lifetime
-	allocs int         // chunks allocated by this log
-	max    int         // per-process cap (MaxEventsPerProc; lowered in tests)
-	open   bool        // a transaction of this process is open in the log
-	full   bool        // hit the cap; recording stopped
-	drop   bool        // recycle filled chunks instead of retaining them
-	mute   bool        // stop fired during a publish; no further sends
-	batch  []Streamed  // events stamped but not yet published
+	rec   *Recorder
+	proc  model.Proc
+	done  [][]stamped // filled chunks, in order (retained mode)
+	cur   []stamped   // chunk being filled
+	count int         // events recorded over the log's lifetime
+	max   int         // per-process cap (MaxEventsPerProc; lowered in tests)
+	open  bool        // a transaction of this process is open in the log
+	full  bool        // hit the cap; recording stopped
+	drop  bool        // recycle filled chunks instead of retaining them
+	mute  bool        // stop fired during a publish; no further sends
+	batch []Streamed  // events stamped but not yet published
 }
 
 func (l *ProcLog) newChunk(capacity int) []stamped {
-	l.allocs++
+	l.rec.chunks.Add(1)
 	return make([]stamped, 0, capacity)
 }
 
@@ -280,6 +276,7 @@ func (l *ProcLog) append(e model.Event) {
 	// events per process.
 	if !l.drop && l.count >= l.max {
 		l.full = true
+		l.rec.truncated.Store(true)
 		l.flushStream()
 		return
 	}

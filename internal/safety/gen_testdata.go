@@ -21,6 +21,8 @@ func main() {
 		cfg  safety.StreamGenConfig
 	}{
 		{"violating_b4_missed.jsonl", safety.StreamGenConfig{Increments: 5, StaleDepth: 3}},
+		{"violating_b4_openreader.jsonl", safety.StreamGenConfig{Increments: 5, StaleDepth: 5, OpenReader: true}},
+		{"violating_b4_straddler.jsonl", safety.StreamGenConfig{Increments: 5, StraddlerViolation: true}},
 		{"violating_b4_caught.jsonl", safety.StreamGenConfig{Increments: 7, StaleDepth: 5}},
 	}
 	dir := filepath.Join("internal", "safety", "testdata")

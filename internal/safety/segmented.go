@@ -41,6 +41,12 @@ type SegmentedResult struct {
 	Approx bool
 	// ForcedCuts counts the forced frontiers the verdict rests on.
 	ForcedCuts int
+	// RelaxedStraddlers counts transactions carried across a forced
+	// frontier whose reads had to be waived to serialize a later
+	// segment: their reads pinned mid-window states whose explaining
+	// writers were already flushed, so they are unverifiable rather
+	// than wrong (see StreamChecker).
+	RelaxedStraddlers int
 }
 
 // CheckOpacitySegmented decides opacity of a (possibly long) history
@@ -129,22 +135,21 @@ func segment(txns []*model.Transaction, max int) ([][]*model.Transaction, error)
 // reachable by legally serializing the segment from any of the given
 // start states.
 func feasibleFinals(seg []*model.Transaction, starts []model.Snapshot) ([]model.Snapshot, error) {
-	out, _, err := feasibleFinalsVisited(seg, starts, false)
-	return out, err
+	return feasibleFinalsRelaxed(seg, starts, 0)
 }
 
-// feasibleFinalsVisited is feasibleFinals, optionally also collecting
-// every intermediate snapshot touched while enumerating the legal
-// serializations. The forced-frontier fallback propagates the visited
-// set instead of the finals: a transaction left open across the
-// frontier may have read a mid-segment value, which only an
-// intermediate snapshot explains. The visited set over-approximates
-// (it includes states of partial serializations that never complete),
-// which is exactly the direction an approximate verdict may err in.
-func feasibleFinalsVisited(seg []*model.Transaction, starts []model.Snapshot, wantVisited bool) (finals, visited []model.Snapshot, err error) {
+// feasibleFinalsRelaxed is feasibleFinals with a bitmask of segment
+// transactions whose read legality is waived: transactions that
+// straddled a forced serialization frontier (the streaming checker's
+// bounded-overlap fallback) read values the flushed window would have
+// had to explain, and that window is gone — their reads are
+// unverifiable, not wrong. A relaxed transaction still occupies its
+// real-time slot and still applies its write set when (treated as)
+// committed, so the propagated states stay exact for everyone else.
+func feasibleFinalsRelaxed(seg []*model.Transaction, starts []model.Snapshot, relaxed uint64) (finals []model.Snapshot, err error) {
 	n := len(seg)
 	if n > 64 {
-		return nil, nil, ErrTooManyTransactions
+		return nil, ErrTooManyTransactions
 	}
 	preds := make([]uint64, n)
 	for i, a := range seg {
@@ -156,20 +161,13 @@ func feasibleFinalsVisited(seg []*model.Transaction, starts []model.Snapshot, wa
 	}
 	finalSet := make(map[string]model.Snapshot)
 	seen := make(map[string]bool)
-	var visitedSet map[string]model.Snapshot
-	if wantVisited {
-		visitedSet = make(map[string]model.Snapshot)
-	}
 	for _, start := range starts {
-		collectFinals(seg, preds, 0, start, finalSet, seen, visitedSet)
+		collectFinals(seg, preds, relaxed, 0, start, finalSet, seen)
 	}
 	for _, s := range finalSet {
 		finals = append(finals, s)
 	}
-	for _, s := range visitedSet {
-		visited = append(visited, s)
-	}
-	return finals, visited, nil
+	return finals, nil
 }
 
 // collectFinals enumerates all legal linear extensions, recording the
@@ -178,15 +176,12 @@ func feasibleFinalsVisited(seg []*model.Transaction, starts []model.Snapshot, wa
 // different snapshots — but segments are small by construction, and
 // (placed, state) pairs already explored are skipped: their reachable
 // finals were recorded on the first visit.
-func collectFinals(seg []*model.Transaction, preds []uint64, placed uint64, state model.Snapshot, finals map[string]model.Snapshot, seen map[string]bool, visited map[string]model.Snapshot) {
+func collectFinals(seg []*model.Transaction, preds []uint64, relaxed, placed uint64, state model.Snapshot, finals map[string]model.Snapshot, seen map[string]bool) {
 	key := memoKey(placed, state)
 	if seen[key] {
 		return
 	}
 	seen[key] = true
-	if visited != nil {
-		visited[memoKey(0, state)] = state
-	}
 	if placed == uint64(1)<<uint(len(seg))-1 {
 		finals[memoKey(0, state)] = state
 		return
@@ -197,7 +192,7 @@ func collectFinals(seg []*model.Transaction, preds []uint64, placed uint64, stat
 			continue
 		}
 		t := seg[i]
-		if model.LegalInState(t, state) != nil {
+		if relaxed&bit == 0 && model.LegalInState(t, state) != nil {
 			continue
 		}
 		commits := []bool{t.Status == model.Committed}
@@ -213,7 +208,7 @@ func collectFinals(seg []*model.Transaction, preds []uint64, placed uint64, stat
 					next.Apply(ws)
 				}
 			}
-			collectFinals(seg, preds, placed|bit, next, finals, seen, visited)
+			collectFinals(seg, preds, relaxed, placed|bit, next, finals, seen)
 		}
 	}
 }

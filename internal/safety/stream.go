@@ -2,6 +2,7 @@ package safety
 
 import (
 	"fmt"
+	"math/bits"
 
 	"livetm/internal/model"
 )
@@ -33,14 +34,23 @@ import (
 // streams: when the budget overflows with transactions still open, it
 // forces a serialization frontier — the completed transactions in the
 // buffer are checked and flushed as a segment even though open
-// transactions overlap the cut — and the verdict degrades to an
-// explicit approximation (SegmentedResult.Approx). Ordering
-// constraints between the flushed transactions and the still-open
-// ones are dropped at the frontier, so an approximate "holds" may
-// miss a violation that only a cross-frontier serialization exposes,
-// and an approximate violation may be a false alarm that a commit-
-// pending transaction's write would have legalized. Everything inside
-// one window is still searched exactly.
+// transactions overlap the cut, and the final snapshots of that
+// check are propagated — and the verdict degrades to an explicit
+// approximation (SegmentedResult.Approx). A transaction carried open
+// across a frontier (a straddler) may have read mid-window values
+// whose explaining writers were just flushed: its reads are
+// unverifiable, not wrong, so when the straddler later completes its
+// read legality is waived (SegmentedResult.RelaxedStraddlers counts
+// the waivers) while its write set still applies. Waiving — rather
+// than judging those reads against over-approximated intermediate
+// snapshots — both avoids false alarms (two straddlers pinning
+// different mid-window states admit no single serialization path) and
+// keeps the propagated states exact for everyone else (a straddler's
+// stale reads must not steer the feasible set onto a stale branch).
+// The cost is an explicit miss window: a violation whose only
+// evidence is a straddler's own reads goes undetected once a frontier
+// fires. Everything inside one window, and every non-straddler
+// transaction, is still searched exactly.
 type StreamChecker struct {
 	max      int
 	buf      model.History
@@ -53,6 +63,12 @@ type StreamChecker struct {
 
 	approx bool // bounded-overlap fallback enabled
 	forced int  // forced frontiers taken
+	// straddler marks processes whose open transaction was carried
+	// across the last forced frontier; see the type comment for why
+	// such a transaction's reads are waived. relaxed counts the
+	// waivers.
+	straddler map[model.Proc]bool
+	relaxed   int
 
 	done   bool // violation or Finish reached
 	holds  bool
@@ -73,9 +89,10 @@ func NewStreamChecker(maxTxnsPerSegment int) (*StreamChecker, error) {
 		return nil, fmt.Errorf("%w: segment budget %d exceeds the 64-transaction search cap", ErrTooManyTransactions, maxTxnsPerSegment)
 	}
 	return &StreamChecker{
-		max:     maxTxnsPerSegment,
-		states:  []model.Snapshot{make(model.Snapshot)},
-		openTxn: make(map[model.Proc]bool),
+		max:       maxTxnsPerSegment,
+		states:    []model.Snapshot{make(model.Snapshot)},
+		openTxn:   make(map[model.Proc]bool),
+		straddler: make(map[model.Proc]bool),
 	}, nil
 }
 
@@ -181,11 +198,14 @@ func (c *StreamChecker) forceFlush() error {
 		return fmt.Errorf("streaming opacity: %w", err)
 	}
 	c.segments++
-	// Propagate every snapshot touched while serializing the flushed
-	// transactions, not just the finals: a transaction left open across
-	// the frontier may have read a mid-segment value, and judging it
-	// later against final states only would be a false alarm.
-	finals, visited, err := feasibleFinalsVisited(txns, c.states, true)
+	// The frontier propagates the final snapshots of serializing the
+	// flushed window — not the visited intermediates — so post-frontier
+	// transactions are re-checked against exactly the states a real cut
+	// would have left. The straddlers' pre-frontier reads, the one
+	// thing only an intermediate state could explain, are waived when
+	// they complete (see the type comment), here as in every later
+	// segment.
+	finals, err := feasibleFinalsRelaxed(txns, c.states, c.waiveMask(txns))
 	if err != nil {
 		return err
 	}
@@ -195,14 +215,43 @@ func (c *StreamChecker) forceFlush() error {
 			c.segments, txns[0].ID(), txns[len(txns)-1].ID(), c.forced)
 		return fmt.Errorf("%w: %s", ErrStreamNotOpaque, c.reason)
 	}
-	c.states = visited
+	c.states = finals
+	// Every transaction carried across this frontier is a straddler for
+	// the windows ahead; everything else (including previous
+	// straddlers, now flushed) is not.
+	c.straddler = make(map[model.Proc]bool, len(keepFrom))
+	for p := range keepFrom {
+		c.straddler[p] = true
+	}
 	c.buf = kept
 	c.txnsInBuf = 0
 	return nil
 }
 
+// waiveMask returns the bitmask over txns selecting each straddler
+// process's first transaction — the one whose opening half predates
+// the last forced frontier — and counts the waivers.
+func (c *StreamChecker) waiveMask(txns []*model.Transaction) uint64 {
+	if len(c.straddler) == 0 {
+		return 0
+	}
+	var mask uint64
+	seen := make(map[model.Proc]bool, len(c.straddler))
+	for i, t := range txns {
+		if !seen[t.Proc] {
+			seen[t.Proc] = true
+			if c.straddler[t.Proc] {
+				mask |= 1 << uint(i)
+			}
+		}
+	}
+	c.relaxed += bits.OnesCount64(mask)
+	return mask
+}
+
 // flush checks the buffered segment — the history since the previous
-// quiescent cut — against the feasible snapshots and discards it.
+// quiescent cut — against the feasible snapshots and discards it. The
+// straddlers of the last forced frontier are flushed with it.
 func (c *StreamChecker) flush() error {
 	next, violation, err := c.checkSegment(c.buf)
 	if err != nil {
@@ -215,12 +264,16 @@ func (c *StreamChecker) flush() error {
 	c.states = next
 	c.buf = c.buf[:0]
 	c.txnsInBuf = 0
+	if len(c.straddler) > 0 {
+		c.straddler = make(map[model.Proc]bool)
+	}
 	return nil
 }
 
 // checkSegment propagates the feasible committed snapshots through one
-// segment. A non-empty violation string means no legal serialization
-// exists from any feasible predecessor state.
+// segment, with the reads of frontier straddlers waived. A non-empty
+// violation string means no legal serialization exists from any
+// feasible predecessor state.
 func (c *StreamChecker) checkSegment(seg model.History) ([]model.Snapshot, string, error) {
 	txns, err := model.Transactions(seg)
 	if err != nil {
@@ -230,7 +283,7 @@ func (c *StreamChecker) checkSegment(seg model.History) ([]model.Snapshot, strin
 		return c.states, "", nil
 	}
 	c.segments++
-	next, err := feasibleFinals(txns, c.states)
+	next, err := feasibleFinalsRelaxed(txns, c.states, c.waiveMask(txns))
 	if err != nil {
 		return nil, "", err
 	}
@@ -271,10 +324,11 @@ func (c *StreamChecker) Finish() (SegmentedResult, error) {
 // any forced frontier contributed to it.
 func (c *StreamChecker) result() SegmentedResult {
 	return SegmentedResult{
-		Holds:      c.holds,
-		Segments:   c.segments,
-		Reason:     c.reason,
-		Approx:     c.forced > 0,
-		ForcedCuts: c.forced,
+		Holds:             c.holds,
+		Segments:          c.segments,
+		Reason:            c.reason,
+		Approx:            c.forced > 0,
+		ForcedCuts:        c.forced,
+		RelaxedStraddlers: c.relaxed,
 	}
 }

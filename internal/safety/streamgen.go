@@ -17,30 +17,48 @@ type StreamGenConfig struct {
 	Increments int
 	// StaleDepth is how many commits back p2's read value lies: p2
 	// reads Increments-StaleDepth even though every increment committed
-	// before its read began. Must be in [1, Increments].
+	// before its read began. Must be in [1, Increments]. Ignored with
+	// StraddlerViolation (p2 is omitted there).
 	StaleDepth int
+	// OpenReader makes the straddler also read x (legally, the initial
+	// 0) before the increments start, pinning a pre-increment value
+	// across any forced frontier.
+	OpenReader bool
+	// StraddlerViolation makes the straddler itself the violation: it
+	// reads x = 0 before the increments (like OpenReader) and re-reads
+	// x = Increments just before committing — no serialization explains
+	// both — and p2 is omitted, so the straddler's own reads are the
+	// history's only evidence. This is the family the fallback must
+	// miss once a frontier fires: a straddler's reads are waived at the
+	// frontier (see StreamChecker), trading exactly this detection for
+	// false-alarm freedom.
+	StraddlerViolation bool
 }
 
 // ViolatingStream builds a well-formed history that is not opaque and
 // has no quiescent cut before its final event:
 //
-//   - p3 opens a straddler transaction (one read of y) immediately and
+//   - p3 opens a straddler transaction (a read of y, plus a read of
+//     x = 0 with OpenReader or StraddlerViolation) immediately and
 //     holds it until the end, so no prefix ever quiesces;
 //   - p1 commits cfg.Increments increment transactions on x, back to
 //     back;
-//   - p2 then commits a read-only transaction that reads the stale
-//     value x = Increments−StaleDepth. Every increment committed
-//     before p2's read began, so real-time order forces p2 after all
-//     of them — where only x = Increments is feasible — and no legal
-//     serialization exists.
+//   - without StraddlerViolation, p2 then commits a read-only
+//     transaction that reads the stale value x = Increments−StaleDepth.
+//     Every increment committed before p2's read began, so real-time
+//     order forces p2 after all of them — where only x = Increments is
+//     feasible — and no legal serialization exists;
+//   - with StraddlerViolation, p3 instead re-reads x = Increments
+//     before committing, making its own read set inconsistent.
 //
-// The exact segmented checker (one segment, budget ≥ Increments+2)
-// always rejects the history. The streaming checker's forced-frontier
-// fallback rejects it too unless a frontier happens to fall between
-// the last increment and p2's transaction: then p2 is judged against
-// the propagated visited snapshots — which still contain the stale
-// value — and the violation is missed. That over-approximation is the
-// object under test.
+// The exact segmented checker (one segment, budget ≥ all transactions)
+// always rejects every variant. The streaming checker's forced-
+// frontier fallback propagates final snapshots across frontiers and
+// re-checks the post-frontier window against them, so it also rejects
+// the p2 variants — with or without the open reader — but it waives a
+// straddler's reads once a frontier fires, so the StraddlerViolation
+// variant is missed exactly when the increments outrun the budget.
+// That residual window is the object under test.
 func ViolatingStream(cfg StreamGenConfig) model.History {
 	const (
 		x = model.TVar(0)
@@ -57,9 +75,12 @@ func ViolatingStream(cfg StreamGenConfig) model.History {
 	if d > k {
 		d = k
 	}
-	h := make(model.History, 0, 6*k+10)
+	h := make(model.History, 0, 6*k+14)
 	// The straddler: opens first, closes last.
 	h = h.Append(model.Read(3, y), model.ValueResp(3, 0))
+	if cfg.OpenReader || cfg.StraddlerViolation {
+		h = h.Append(model.Read(3, x), model.ValueResp(3, 0))
+	}
 	for i := 0; i < k; i++ {
 		v := model.Value(i)
 		h = h.Append(
@@ -68,9 +89,13 @@ func ViolatingStream(cfg StreamGenConfig) model.History {
 			model.TryCommit(1), model.Commit(1),
 		)
 	}
-	h = h.Append(
-		model.Read(2, x), model.ValueResp(2, model.Value(k-d)),
-		model.TryCommit(2), model.Commit(2),
-	)
+	if cfg.StraddlerViolation {
+		h = h.Append(model.Read(3, x), model.ValueResp(3, model.Value(k)))
+	} else {
+		h = h.Append(
+			model.Read(2, x), model.ValueResp(2, model.Value(k-d)),
+			model.TryCommit(2), model.Commit(2),
+		)
+	}
 	return h.Append(model.TryCommit(3), model.Commit(3))
 }

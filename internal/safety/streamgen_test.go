@@ -28,103 +28,140 @@ func streamVerdict(t *testing.T, c *StreamChecker, h model.History) SegmentedRes
 	return res
 }
 
+// shapeVariants enumerates the generator's straddler variants.
+var shapeVariants = []struct {
+	name string
+	set  func(*StreamGenConfig)
+}{
+	{"plain", func(*StreamGenConfig) {}},
+	{"openreader", func(c *StreamGenConfig) { c.OpenReader = true }},
+	{"straddler", func(c *StreamGenConfig) { c.StraddlerViolation = true }},
+}
+
 // TestViolatingStreamShape: the generator's output is well-formed,
 // cut-starved, and rejected by the exact segmented checker for every
-// parameter combination the sweep uses.
+// parameter combination the sweep uses, in every variant.
 func TestViolatingStreamShape(t *testing.T) {
-	for k := 2; k <= 16; k++ {
-		for _, d := range []int{1, 2, k / 2, k} {
-			if d < 1 {
-				continue
-			}
-			h := ViolatingStream(StreamGenConfig{Increments: k, StaleDepth: d})
-			if err := model.CheckWellFormed(h); err != nil {
-				t.Fatalf("k=%d d=%d: malformed: %v", k, d, err)
-			}
-			res, err := CheckOpacitySegmented(h, 64)
-			if err != nil {
-				t.Fatalf("k=%d d=%d: exact checker errored: %v", k, d, err)
-			}
-			if res.Holds {
-				t.Fatalf("k=%d d=%d: exact checker accepted a violating stream", k, d)
-			}
-			// Cut starvation: the plain streaming checker must refuse the
-			// stream once the budget overflows without a cut.
-			c, err := NewStreamChecker(4)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var refused bool
-			for _, e := range h {
-				if err := c.Feed(e); err != nil {
-					if errors.Is(err, ErrNoQuiescentCut) {
-						refused = true
-					} else if !errors.Is(err, ErrStreamNotOpaque) {
-						t.Fatalf("k=%d d=%d: %v", k, d, err)
-					}
-					break
+	for _, v := range shapeVariants {
+		for k := 2; k <= 16; k++ {
+			for _, d := range []int{1, 2, k / 2, k} {
+				if d < 1 {
+					continue
 				}
-			}
-			if k+1 > 4 && !refused {
-				t.Fatalf("k=%d d=%d: stream is not cut-starved (plain checker accepted it)", k, d)
+				cfg := StreamGenConfig{Increments: k, StaleDepth: d}
+				v.set(&cfg)
+				h := ViolatingStream(cfg)
+				if err := model.CheckWellFormed(h); err != nil {
+					t.Fatalf("%s k=%d d=%d: malformed: %v", v.name, k, d, err)
+				}
+				res, err := CheckOpacitySegmented(h, 64)
+				if err != nil {
+					t.Fatalf("%s k=%d d=%d: exact checker errored: %v", v.name, k, d, err)
+				}
+				if res.Holds {
+					t.Fatalf("%s k=%d d=%d: exact checker accepted a violating stream", v.name, k, d)
+				}
+				// Cut starvation: the plain streaming checker must refuse the
+				// stream once the budget overflows without a cut.
+				c, err := NewStreamChecker(4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var refused bool
+				for _, e := range h {
+					if err := c.Feed(e); err != nil {
+						if errors.Is(err, ErrNoQuiescentCut) {
+							refused = true
+						} else if !errors.Is(err, ErrStreamNotOpaque) {
+							t.Fatalf("%s k=%d d=%d: %v", v.name, k, d, err)
+						}
+						break
+					}
+				}
+				if k+1 > 4 && !refused {
+					t.Fatalf("%s k=%d d=%d: stream is not cut-starved (plain checker accepted it)", v.name, k, d)
+				}
 			}
 		}
 	}
 }
 
-// TestApproxFallbackMissRate quantifies the ROADMAP question: the
-// forced-frontier fallback propagates visited (not just final)
-// snapshots, which over-approximates — a violation whose stale read
-// lands just after a frontier is judged against a snapshot that should
-// no longer be feasible and is missed. The sweep measures the miss
-// rate against the exact segmented checker over the generator's
-// parameter space and asserts an upper bound; every miss must carry
-// the explicit approximate marker, and on streams the budget covers
-// without frontiers the fallback must stay exact.
+// TestApproxFallbackMissRate quantifies the ROADMAP question. The
+// forced-frontier fallback used to propagate visited (not just final)
+// snapshots at every frontier, missing ~17% of the sweep's violations.
+// Frontiers now propagate final snapshots — so the post-frontier
+// window is re-checked tightly and every p2-stale-read violation is
+// caught, open reader or not — while a straddler's own reads are
+// waived once a frontier fires (they are unverifiable: their
+// explaining window was flushed, and judging them would raise false
+// alarms on healthy runs). The residual miss window is therefore
+// exactly the StraddlerViolation family with the increments outrunning
+// the budget; the sweep asserts that boundary, that every miss carries
+// the approximate marker and a reported waiver, and that the overall
+// rate sits far below the former 17%.
 func TestApproxFallbackMissRate(t *testing.T) {
 	total, missed := 0, 0
-	for _, budget := range []int{3, 4, 6, 8} {
-		for k := 2; k <= 20; k++ {
-			for _, d := range []int{1, 2, (k + 1) / 2, k} {
-				if d < 1 || d > k {
-					continue
-				}
-				h := ViolatingStream(StreamGenConfig{Increments: k, StaleDepth: d})
-				c, err := NewStreamChecker(budget)
-				if err != nil {
-					t.Fatal(err)
-				}
-				c.WithApproxFallback()
-				res := streamVerdict(t, c, h)
-				total++
-				if res.Holds {
-					missed++
-					if !res.Approx || res.ForcedCuts == 0 {
-						t.Fatalf("budget=%d k=%d d=%d: a missed violation must be marked approximate, got %+v",
-							budget, k, d, res)
+	for _, openReader := range []bool{false, true} {
+		for _, budget := range []int{3, 4, 6, 8} {
+			for k := 2; k <= 20; k++ {
+				for _, d := range []int{1, 2, (k + 1) / 2, k} {
+					if d < 1 || d > k {
+						continue
+					}
+					h := ViolatingStream(StreamGenConfig{Increments: k, StaleDepth: d, OpenReader: openReader})
+					c, err := NewStreamChecker(budget)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.WithApproxFallback()
+					res := streamVerdict(t, c, h)
+					total++
+					if res.Holds {
+						missed++
+						t.Errorf("open=%v budget=%d k=%d d=%d: a stale read outside the straddler must be caught, got %+v",
+							openReader, budget, k, d, res)
 					}
 				}
-				if k+1 <= budget && res.Holds {
-					t.Fatalf("budget=%d k=%d d=%d: no frontier was needed, the fallback must stay exact", budget, k, d)
+			}
+		}
+	}
+	for _, budget := range []int{3, 4, 6, 8} {
+		for k := 2; k <= 20; k++ {
+			h := ViolatingStream(StreamGenConfig{Increments: k, StraddlerViolation: true})
+			c, err := NewStreamChecker(budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.WithApproxFallback()
+			res := streamVerdict(t, c, h)
+			total++
+			wantMiss := k > budget // a frontier fired before the straddler's re-read
+			if res.Holds != wantMiss {
+				t.Errorf("straddler budget=%d k=%d: holds=%v, want miss=%v (%+v)", budget, k, res.Holds, wantMiss, res)
+			}
+			if res.Holds {
+				missed++
+				if !res.Approx || res.ForcedCuts == 0 || res.RelaxedStraddlers == 0 {
+					t.Errorf("straddler budget=%d k=%d: a miss must be approximate with a reported waiver, got %+v", budget, k, res)
 				}
 			}
 		}
 	}
 	rate := float64(missed) / float64(total)
-	t.Logf("approx-fallback miss rate: %d/%d = %.1f%% (exact checker catches all)", missed, total, 100*rate)
+	t.Logf("approx-fallback miss rate: %d/%d = %.1f%% (exact checker catches all; misses confined to straddler-only evidence)",
+		missed, total, 100*rate)
 	if missed == 0 {
-		t.Error("the sweep must witness the over-approximation (zero misses means the fixture family regressed)")
+		t.Error("the sweep must witness the residual straddler window (zero misses means the fixture family regressed)")
 	}
-	if rate > 0.5 {
-		t.Errorf("miss rate %.1f%% exceeds the 50%% bound", 100*rate)
+	if rate >= 0.17 {
+		t.Errorf("miss rate %.1f%% has not dropped below the former 17%%", 100*rate)
 	}
 }
 
-// Fixture files under testdata pin two concrete streams whose
-// generator parameters are encoded here; each checker scenario names
-// the file it replays (whether the fallback engages is a property of
-// the checker's budget, not of the file, so the miss/catch/exact
-// trio shares two files). TestViolatingStreamFixtures asserts both
+// Fixture files under testdata pin concrete streams whose generator
+// parameters are encoded here; each checker scenario names the file it
+// replays (whether the fallback engages is a property of the checker's
+// budget, not of the file). TestViolatingStreamFixtures asserts both
 // that the committed files still match the generator and that each
 // verdict stays what the scenario claims.
 var violatingFixtures = []struct {
@@ -135,16 +172,25 @@ var violatingFixtures = []struct {
 	missed bool
 }{
 	// budget 4, 5 increments: the frontier fires right after the last
-	// increment, so the stale read is judged against visited snapshots
-	// and the violation is missed.
-	{name: "b4_missed", file: "violating_b4_missed.jsonl", cfg: StreamGenConfig{Increments: 5, StaleDepth: 3}, budget: 4, missed: true},
+	// increment, but final snapshots are propagated across it, so the
+	// stale read is caught — the miss this stream used to demonstrate
+	// is reclaimed.
+	{name: "b4_reclaimed", file: "violating_b4_missed.jsonl", cfg: StreamGenConfig{Increments: 5, StaleDepth: 3}, budget: 4, missed: false},
+	// The straddler pinning an early read of x across the frontier does
+	// not change that: its read is waived, p2's stale read still fails
+	// against the propagated finals.
+	{name: "b4_openreader_reclaimed", file: "violating_b4_openreader.jsonl", cfg: StreamGenConfig{Increments: 5, StaleDepth: 5, OpenReader: true}, budget: 4, missed: false},
+	// The straddler's own inconsistent re-read is the only evidence:
+	// waived once the frontier fires — the fallback's residual window.
+	{name: "b4_straddler_missed", file: "violating_b4_straddler.jsonl", cfg: StreamGenConfig{Increments: 5, StraddlerViolation: true}, budget: 4, missed: true},
 	// budget 4, 7 increments: increments remain after the frontier, the
 	// stale read really-follows them inside one window, and the
 	// violation is caught.
 	{name: "b4_caught", file: "violating_b4_caught.jsonl", cfg: StreamGenConfig{Increments: 7, StaleDepth: 5}, budget: 4, missed: false},
-	// budget 8 covers the same stream the budget-4 checker misses: no
-	// frontier, exact verdict.
+	// budget 8 covers the streams the budget-4 checker needs frontiers
+	// for: no frontier, exact verdicts — including the straddler's.
 	{name: "b8_exact", file: "violating_b4_missed.jsonl", cfg: StreamGenConfig{Increments: 5, StaleDepth: 3}, budget: 8, missed: false},
+	{name: "b8_straddler_caught", file: "violating_b4_straddler.jsonl", cfg: StreamGenConfig{Increments: 5, StraddlerViolation: true}, budget: 8, missed: false},
 }
 
 func TestViolatingStreamFixtures(t *testing.T) {

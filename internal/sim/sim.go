@@ -140,7 +140,8 @@ type procState struct {
 	done        bool
 	crashed     bool
 	killed      bool
-	suspendedTo int // not scheduled until the global step counter reaches this
+	parked      bool // voluntarily descheduled until Unpark
+	suspendedTo int  // not scheduled until the global step counter reaches this
 }
 
 // Scheduler coordinates the process goroutines. It is not safe for
@@ -240,11 +241,30 @@ func (s *Scheduler) runnable() []model.Proc {
 	var out []model.Proc
 	for _, p := range s.order {
 		ps := s.procs[p]
-		if !ps.done && !ps.crashed && s.steps >= ps.suspendedTo {
+		if !ps.done && !ps.crashed && !ps.parked && s.steps >= ps.suspendedTo {
 			out = append(out, p)
 		}
 	}
 	return out
+}
+
+// Park voluntarily deschedules p until Unpark: unlike Suspend it is
+// event-driven, not timed, so an idle process (a session worker with
+// an empty queue) consumes no steps at all while it waits for work —
+// matching a process that simply is not there. Parking an unknown or
+// finished process is a no-op. A process parks itself by calling Park
+// and then yielding; the driver unparks it when there is work.
+func (s *Scheduler) Park(p model.Proc) {
+	if ps, ok := s.procs[p]; ok {
+		ps.parked = true
+	}
+}
+
+// Unpark makes a parked process schedulable again (no-op otherwise).
+func (s *Scheduler) Unpark(p model.Proc) {
+	if ps, ok := s.procs[p]; ok {
+		ps.parked = false
+	}
 }
 
 // Runnable returns the processes currently eligible for scheduling
