@@ -7,16 +7,20 @@
 //	    Run the liveness matrix (DESIGN.md E20): each TM × fault
 //	    model, compared against the paper's §3.2.3 claims.
 //
-//	livetm run -engine NAME [-procs N] [-ops N] [-mix M] [-contention C] [-sharing S] [-live] [-out FILE]
+//	livetm run -engine NAME [-procs N] [-ops N] [-mix M] [-contention C] [-sharing S] [-live] [-shards S] [-out FILE]
 //	    Run one workload cell on a native engine with the in-process
 //	    monitor attached (-live, the default): events stream into the
 //	    checker while the cell executes, an opacity violation stops
 //	    the run mid-flight, and the measured per-process starvation
 //	    rebiases the retry backoff (starved processes back off less).
-//	    Prints the monitor report and liveness class; -live=false
-//	    degrades to a plain recorded run (like `livetm record`).
+//	    -shards partitions the keyspace: quiescent cuts pause one
+//	    shard's workers instead of the whole session and the monitor
+//	    checks the shards in parallel lanes, printing per-shard cut
+//	    counts and pause percentiles. Prints the monitor report and
+//	    liveness class; -live=false degrades to a plain recorded run
+//	    (like `livetm record`).
 //
-//	livetm serve -engine NAME [-workers N] [-submitters N] [-mix M] [-contention C] [-sharing S] [-duration D] [-progress D]
+//	livetm serve -engine NAME [-workers N] [-submitters N] [-mix M] [-contention C] [-sharing S] [-shards S] [-duration D] [-progress D]
 //	    Run a native engine as a long-lived service: one session whose
 //	    worker pool serves transactions submitted by concurrent client
 //	    goroutines, with the in-process monitor resident for the
@@ -94,14 +98,17 @@
 //	    List every (algorithm, substrate) engine behind the unified
 //	    engine API with its capabilities.
 //
-//	livetm workloads [-procs LIST] [-simsteps N] [-ops N] [-out FILE] [-record] [-check] [-live] [-overhead]
+//	livetm workloads [-procs LIST] [-simsteps N] [-ops N] [-out FILE] [-record] [-check] [-live] [-overhead] [-shards LIST]
 //	    Run the declared workload matrix on every engine of both
 //	    substrates and print the result table (optionally writing the
-//	    BENCH_native.json schema-v2 artifact); -record captures each
+//	    BENCH_native.json schema-v3 artifact); -record captures each
 //	    cell's history, -check verifies it through the online monitor,
 //	    -live runs native cells under the in-process monitor (per-cell
-//	    liveness class, starvation-aware backoff), and -overhead
-//	    measures each native cell's recording-cost ratio.
+//	    liveness class, starvation-aware backoff), -overhead measures
+//	    each native cell's recording-cost ratio, and -shards sweeps
+//	    each native recorded/live cell over keyspace-shard counts
+//	    (per-shard cut latency and checker-lane segments land in the
+//	    artifact).
 package main
 
 import (
@@ -747,6 +754,7 @@ func cmdWorkloads(args []string) error {
 	live := fs.Bool("live", false, "run native cells under the in-process monitor (mid-flight stop, starvation-aware backoff, per-cell liveness class)")
 	overhead := fs.Bool("overhead", false, "measure each native cell's recording overhead ratio against an unrecorded rerun")
 	quiesce := fs.Int("quiesce", 4, "rendezvous interval (rounds) of recorded native cells (0 = never)")
+	shardsArg := fs.String("shards", "", "comma-separated shard counts to sweep native recorded/live cells over (counts that do not fit a cell are skipped; empty = unsharded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -762,12 +770,25 @@ func cmdWorkloads(args []string) error {
 		}
 		procs = append(procs, n)
 	}
+	var shardCounts []int
+	if *shardsArg != "" {
+		for _, part := range strings.Split(*shardsArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("workloads: bad shard count %q", part)
+			}
+			shardCounts = append(shardCounts, n)
+		}
+		if !*record && !*check && !*live {
+			return fmt.Errorf("workloads: -shards needs -record, -check or -live (shard-local cuts exist for the checker)")
+		}
+	}
 	engines := engine.Engines(*ablations)
 	specs := workload.Matrix(procs)
 	budget := workload.Budget{SimSteps: *simSteps, NativeOps: *ops}
 	fmt.Printf("running %d workloads × %d engines...\n", len(specs), len(engines))
 	results, err := workload.RunMatrixOptions(engines, specs, budget,
-		workload.Options{Record: *record, Check: *check, Live: *live, Overhead: *overhead, QuiesceEvery: quiesceOpt})
+		workload.Options{Record: *record, Check: *check, Live: *live, Overhead: *overhead, QuiesceEvery: quiesceOpt, Shards: shardCounts})
 	if err != nil {
 		return err
 	}
@@ -806,7 +827,7 @@ func matrixCell(procs int, mix, contention, sharing string) (workload.Spec, erro
 // runLiveCell executes one matrix cell on a native engine with the
 // in-process monitor attached and prints the run's stats and the
 // monitor's report. Shared by `livetm run` and `livetm monitor -live`.
-func runLiveCell(engineName string, procs, ops int, mix, contention, sharing string, quiesce, segment, window int, out string) error {
+func runLiveCell(engineName string, procs, ops int, mix, contention, sharing string, quiesce, segment, window, shards int, out string) error {
 	e, ok := engine.Lookup(engineName)
 	if !ok {
 		return fmt.Errorf("unknown engine %q", engineName)
@@ -824,6 +845,7 @@ func runLiveCell(engineName string, procs, ops int, mix, contention, sharing str
 		QuiesceEvery:    quiesce,
 		LiveSegmentTxns: segment,
 		LiveTailWindow:  window,
+		Shards:          shards,
 	}
 	st, runErr := e.Run(cfg, spec.Body())
 	fmt.Printf("live %s on %s: commits=%d aborts=%d no-commits=%d stopped=%v\n",
@@ -833,6 +855,7 @@ func runLiveCell(engineName string, procs, ops int, mix, contention, sharing str
 		fmt.Printf("  liveness class: %s\n", st.Live.LivenessClass())
 	}
 	fmt.Printf("  backoff cap=%d bias=%v recorder chunks=%d\n", st.BackoffCap, st.BackoffBias, st.RecorderChunks)
+	printCutStats(st.Shards, st.CutLatency, st.ShardCuts)
 	if out != "" && st.History != nil {
 		if err := model.SaveTrace(out, st.History); err != nil {
 			return err
@@ -857,11 +880,15 @@ func cmdRun(args []string) error {
 	live := fs.Bool("live", true, "attach the in-process monitor (mid-flight violation stop + starvation-aware backoff)")
 	quiesce := fs.Int("quiesce", 0, "rendezvous interval in rounds (0 = the live default of 4, -1 = never)")
 	segment := fs.Int("segment", 0, "live checker segment budget in transactions (0 = default 48)")
+	shards := fs.Int("shards", 0, "keyspace shard count: shard-local quiescent cuts and one checker lane per shard (0 = unsharded; must be a power of two dividing -procs)")
 	out := fs.String("out", "", "also retain the history and write it as a JSON Lines trace file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if !*live {
+		if *shards > 1 {
+			return fmt.Errorf("run: -shards needs the in-process monitor (drop -live=false)")
+		}
 		// Without the monitor this is a plain recorded run; reuse the
 		// record path so the two stay behaviourally identical.
 		rest := []string{"-engine", *name, "-procs", strconv.Itoa(*procsN), "-ops", strconv.Itoa(*ops),
@@ -871,7 +898,21 @@ func cmdRun(args []string) error {
 		}
 		return cmdRecord(rest)
 	}
-	return runLiveCell(*name, *procsN, *ops, *mixName, *contentionName, *sharing, *quiesce, *segment, 0, *out)
+	return runLiveCell(*name, *procsN, *ops, *mixName, *contentionName, *sharing, *quiesce, *segment, 0, *shards, *out)
+}
+
+// printCutStats prints the quiescent-cut pause summary of a sharded
+// run: totals first, then each shard's own count and percentiles.
+func printCutStats(shards int, total engine.CutStats, perShard []engine.CutStats) {
+	if shards <= 1 || total.Count == 0 {
+		return
+	}
+	fmt.Printf("  cuts over %d shards: %d total, pause p50=%v p99=%v\n",
+		shards, total.Count, time.Duration(total.P50ns), time.Duration(total.P99ns))
+	for k, cs := range perShard {
+		fmt.Printf("    shard %d: cuts=%d p50=%v p99=%v\n",
+			k, cs.Count, time.Duration(cs.P50ns), time.Duration(cs.P99ns))
+	}
 }
 
 // cmdServe runs a native engine as a long-lived service: one session
@@ -893,6 +934,7 @@ func cmdServe(args []string) error {
 	progress := fs.Duration("progress", 2*time.Second, "progress line interval")
 	quiesce := fs.Int("quiesce", 0, "quiescent-cut interval in completed transactions per worker (0 = the live default of 4, -1 = never)")
 	segment := fs.Int("segment", 0, "live checker segment budget in transactions (0 = default 48)")
+	shards := fs.Int("shards", 0, "keyspace shard count: shard-local quiescent cuts and one checker lane per shard (0 = unsharded; must be a power of two dividing -workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -905,7 +947,7 @@ func cmdServe(args []string) error {
 		var conflict []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "quiesce", "segment":
+			case "quiesce", "segment", "shards":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
@@ -930,6 +972,7 @@ func cmdServe(args []string) error {
 		Live:            *live,
 		QuiesceEvery:    *quiesce,
 		LiveSegmentTxns: *segment,
+		Shards:          *shards,
 	})
 	if err != nil {
 		return err
@@ -1011,6 +1054,7 @@ serving:
 		fmt.Print(rep.Format())
 		fmt.Printf("  liveness class: %s\n", rep.LivenessClass())
 	}
+	printCutStats(st.Shards, st.CutLatency, st.ShardCuts)
 	if cerr != nil {
 		return fmt.Errorf("serve: %w", cerr)
 	}
@@ -1115,7 +1159,7 @@ func cmdMonitor(args []string) error {
 		if len(conflict) > 0 {
 			return fmt.Errorf("monitor: %s cannot be combined with -live (the engine's in-process monitor streams internally and always uses the approximate fallback)", strings.Join(conflict, ", "))
 		}
-		return runLiveCell(*engineName, *procsN, *ops, *mixName, *contentionName, *sharing, 0, *segment, *window, "")
+		return runLiveCell(*engineName, *procsN, *ops, *mixName, *contentionName, *sharing, 0, *segment, *window, 0, "")
 	}
 	if *file == "" {
 		return fmt.Errorf("monitor: -file is required (or -live for an in-process run)")

@@ -356,11 +356,12 @@ func TestCmdMonitorLive(t *testing.T) {
 	}
 }
 
-// TestCmdWorkloadsLive: the live/overhead matrix flags produce the
-// schema-v2 artifact with liveness classes on native cells.
+// TestCmdWorkloadsLive: the live/overhead/shard-sweep matrix flags
+// produce the schema-v3 artifact with liveness classes on native
+// cells and per-shard breakdowns on the swept ones.
 func TestCmdWorkloadsLive(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_native.json")
-	if err := run([]string{"workloads", "-procs", "2", "-simsteps", "200", "-ops", "12", "-live", "-check", "-overhead", "-out", path}); err != nil {
+	if err := run([]string{"workloads", "-procs", "2", "-simsteps", "200", "-ops", "12", "-live", "-check", "-overhead", "-shards", "1,2", "-out", path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -374,7 +375,7 @@ func TestCmdWorkloadsLive(t *testing.T) {
 	if art.Schema != workload.ArtifactSchema {
 		t.Fatalf("schema = %q, want %q", art.Schema, workload.ArtifactSchema)
 	}
-	liveCells := 0
+	liveCells, shardedCells := 0, 0
 	for _, r := range art.Results {
 		if r.Live {
 			liveCells++
@@ -382,8 +383,17 @@ func TestCmdWorkloadsLive(t *testing.T) {
 				t.Errorf("%s/%s: live cell without class", r.Engine, r.Workload)
 			}
 		}
+		if r.Shards > 1 {
+			shardedCells++
+			if len(r.PerShard) != r.Shards {
+				t.Errorf("%s/%s: %d per-shard entries, want %d", r.Engine, r.Workload, len(r.PerShard), r.Shards)
+			}
+		}
 	}
 	if liveCells == 0 {
 		t.Fatal("no live cells in the artifact")
+	}
+	if shardedCells == 0 {
+		t.Fatal("no sharded cells in the artifact")
 	}
 }

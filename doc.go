@@ -34,12 +34,25 @@
 // degrade to an explicit approximate verdict at forced serialization
 // frontiers — final snapshots propagate across each frontier, and a
 // transaction carried open across one has its unverifiable reads
-// waived — instead of refusing. The workload matrix
-// (internal/workload) is declared once and executed against every
-// (algorithm, substrate) pair, optionally recording, checking, or
-// live-monitoring each cell (per-cell liveness class and recorder
-// overhead in the schema-v2 artifact); see internal/engine's package
-// documentation for when to use which substrate.
+// waived — instead of refusing.
+//
+// Monitored sessions scale by sharding the keyspace end to end
+// (SessionConfig.Shards): the variables split into contiguous shards,
+// each worker group serves its own shard, a quiescent cut pauses only
+// one shard's workers, and the monitor checks the shards in parallel
+// streaming lanes (safety.ShardedChecker), merging lanes only around
+// transactions that actually span shards. A disjoint workload
+// therefore checks its shards concurrently at shard-local cut cost;
+// a session whose transactions cross shards degrades the cuts to
+// global ones but keeps the same verdict — the sharded checker is
+// verdict-equivalent to the single-lane one by construction (property
+// tested). The workload matrix (internal/workload) is declared once
+// and executed against every (algorithm, substrate) pair, optionally
+// recording, checking, live-monitoring, or shard-sweeping each cell
+// (per-cell liveness class, recorder overhead, and per-shard cut
+// latency and checker-lane segments in the schema-v3 artifact); see
+// internal/engine's package documentation for when to use which
+// substrate.
 //
 // The impossibility adversaries are substrate-agnostic too: the
 // strategy logic of Algorithms 1 and 2 (internal/adversary) runs once

@@ -78,6 +78,36 @@
 // budget between quiescent cuts degrade to an explicit approximate
 // verdict (forced serialization frontiers) instead of failing.
 //
+// # Sharding
+//
+// SessionConfig.Shards partitions a monitored native session end to
+// end so the checker keeps up with the workers instead of serializing
+// behind one stream. The keyspace splits into S contiguous shards
+// (variable v lands on shard v*S/Vars) and the worker pool into S
+// matching groups (worker p on shard p*S/MaxWorkers), so on a
+// disjoint workload each transaction stays inside its home shard.
+// Three things then become shard-local: the quiescent cut (a cut on
+// shard k pauses only shard k's workers, and the rendezvous interval
+// scales with the group size so each shard quiesces at the configured
+// per-worker cadence), the recorder's shard tag on every streamed
+// event, and the checker — the monitor routes events to one streaming
+// lane per shard (safety.ShardedChecker) and lanes verify their
+// segments concurrently. Per-shard cut counts and pause-latency
+// percentiles land in Stats.ShardCuts/CutLatency, per-lane segment
+// counts in the monitor report's ShardSegments.
+//
+// A transaction that touches a variable outside its home shard is
+// handled on both sides: the checker routes by variable and merges
+// the lanes around the spanning transaction (group closure), keeping
+// the verdict identical to the single-lane checker's; the session,
+// once it observes any cross-shard access, stickily degrades
+// subsequent cuts to global ones (all shard locks, in order) so every
+// future cut is still a true quiescent point. Shards must be a power
+// of two, at most Workers and Vars, dividing Workers and MaxWorkers,
+// and the session must be recorded or live — sharding exists for the
+// checker, and the simulated substrate (one runnable process, one
+// global order) rejects it.
+//
 // Use the simulated substrate to ask "is it correct / live under this
 // exact adversarial schedule", the native substrate to ask "how fast
 // is it on this machine", a recorded native run to ask "was this real

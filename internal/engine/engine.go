@@ -111,6 +111,11 @@ type RunConfig struct {
 	// LiveTailWindow is the live monitor's liveness-classification
 	// window in events (0 defaults to 256).
 	LiveTailWindow int
+	// Shards partitions the keyspace and the worker pool into shard-
+	// local groups with per-shard quiescent cuts and per-shard
+	// streaming checkers (see SessionConfig.Shards; 0 or 1 =
+	// unsharded). Native substrate, recorded or live runs only.
+	Shards int
 }
 
 // validate defers to the session validation of the run's mapped shape
@@ -166,6 +171,13 @@ type Stats struct {
 	// covers a per-process prefix of the run, so verdicts are advisory.
 	// Live-only runs retain nothing and never truncate.
 	Truncated bool
+	// Shards is the run's shard count (1 = unsharded).
+	Shards int
+	// CutLatency is the pause-latency summary over every quiescent cut
+	// the run forced, and ShardCuts the per-shard breakdown when the
+	// run was sharded (see SessionStats).
+	CutLatency CutStats
+	ShardCuts  []CutStats
 }
 
 // AbortRate is Aborts / (Commits + Aborts), or 0 with no attempts.

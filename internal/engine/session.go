@@ -113,6 +113,21 @@ type SessionConfig struct {
 	// LiveTailWindow is the live monitor's liveness-classification
 	// window in events (0 defaults to 256).
 	LiveTailWindow int
+	// Shards partitions the keyspace and the worker pool into that many
+	// shard-local groups on the native substrate (0 or 1 = unsharded).
+	// Variables are split contiguously (variable v lands on shard
+	// v*Shards/Vars) and so are workers (worker p belongs to group
+	// p*Shards/MaxWorkers), so a quiescent cut on shard k pauses only
+	// shard k's group instead of the whole pool, and a live monitor fans
+	// the stream out to one streaming checker per shard with a
+	// cross-shard merge pass for spanning transactions. Must be a power
+	// of two dividing both Workers and MaxWorkers; sharding only applies
+	// to recorded or live sessions (cuts and checkers are what shards
+	// localize). Once any transaction touches a variable outside its
+	// worker's shard, cuts degrade to global (all groups pause) for the
+	// rest of the session — the checker-side merge still keeps spanning
+	// verdicts sound either way.
+	Shards int
 }
 
 func (cfg SessionConfig) withDefaults() SessionConfig {
@@ -121,6 +136,9 @@ func (cfg SessionConfig) withDefaults() SessionConfig {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	return cfg
 }
@@ -159,8 +177,45 @@ func (cfg SessionConfig) validate(sub Substrate) error {
 		if cfg.LiveTailWindow < 0 {
 			return fmt.Errorf("engine: LiveTailWindow must be non-negative, got %d", cfg.LiveTailWindow)
 		}
+		if cfg.Shards > 1 {
+			if cfg.Shards&(cfg.Shards-1) != 0 {
+				return fmt.Errorf("engine: Shards must be a power of two, got %d", cfg.Shards)
+			}
+			if !cfg.Record && !cfg.Live {
+				return fmt.Errorf("engine: Shards only applies to recorded or live sessions (shards localize cuts and checkers)")
+			}
+			if cfg.Shards > cfg.Workers {
+				return fmt.Errorf("engine: Shards %d exceeds Workers %d (every shard group needs a worker)", cfg.Shards, cfg.Workers)
+			}
+			if cfg.Workers%cfg.Shards != 0 {
+				return fmt.Errorf("engine: Workers %d must divide evenly into %d shard groups", cfg.Workers, cfg.Shards)
+			}
+			if cfg.MaxWorkers > 0 && cfg.MaxWorkers%cfg.Shards != 0 {
+				return fmt.Errorf("engine: MaxWorkers %d must divide evenly into %d shard groups", cfg.MaxWorkers, cfg.Shards)
+			}
+			if cfg.Shards > cfg.Vars {
+				return fmt.Errorf("engine: Shards %d exceeds Vars %d (every shard needs a variable)", cfg.Shards, cfg.Vars)
+			}
+		}
+	}
+	if sub == Simulated && cfg.Shards > 1 {
+		return fmt.Errorf("engine: sharding needs the native substrate (simulated sessions have one global scheduler)")
 	}
 	return nil
+}
+
+// CutStats summarizes the latency of quiescent-cut pauses: how long
+// the exclusive lock acquisition + release took, in nanoseconds, over
+// Count cuts. Percentiles come from a bounded reservoir of recent
+// cuts (the latest ~4k per shard), so long sessions report current
+// behaviour rather than the full-lifetime distribution.
+type CutStats struct {
+	// Count is the number of cuts taken.
+	Count uint64
+	// P50ns and P99ns are the pause-latency percentiles in nanoseconds
+	// (0 when no cuts were taken).
+	P50ns int64
+	P99ns int64
 }
 
 // SessionStats is a point-in-time snapshot of a session's counters,
@@ -193,6 +248,14 @@ type SessionStats struct {
 	// sessions.
 	RecorderChunks int
 	Truncated      bool
+	// Shards is the session's shard count (1 = unsharded).
+	Shards int
+	// CutLatency aggregates every quiescent cut the session forced,
+	// across all shards (Count 0 when the session takes no cuts).
+	CutLatency CutStats
+	// ShardCuts is the per-shard cut-latency breakdown, indexed by
+	// shard, when Shards > 1; nil otherwise.
+	ShardCuts []CutStats
 }
 
 // AbortRate is Aborts / (Commits + Aborts), or 0 with no attempts.
@@ -370,6 +433,7 @@ func (cfg RunConfig) session() SessionConfig {
 		Live:            cfg.Live,
 		LiveSegmentTxns: cfg.LiveSegmentTxns,
 		LiveTailWindow:  cfg.LiveTailWindow,
+		Shards:          cfg.Shards,
 	}
 }
 
@@ -451,6 +515,9 @@ func runOnSession(e Engine, cfg RunConfig, body TxBody) (Stats, error) {
 		BackoffBias:    sst.BackoffBias,
 		RecorderChunks: sst.RecorderChunks,
 		Truncated:      sst.Truncated,
+		Shards:         sst.Shards,
+		CutLatency:     sst.CutLatency,
+		ShardCuts:      sst.ShardCuts,
 	}
 	if cerr != nil && !errors.Is(cerr, ErrStepBudget) {
 		return st, cerr

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"livetm/internal/model"
 	"livetm/internal/monitor"
@@ -36,6 +38,11 @@ const (
 	// have no round budget to derive it from; the chunked buffers grow
 	// (or recycle) process-locally either way.
 	recorderHint = 1024
+	// cutSampleCap bounds each shard's cut-latency reservoir: the
+	// percentiles in SessionStats.CutLatency cover the most recent
+	// cutSampleCap cuts per shard, so a long session's numbers track
+	// current behaviour at flat memory.
+	cutSampleCap = 4096
 )
 
 // liveState couples one live session's monitor, backoff feedback loop
@@ -102,20 +109,36 @@ type nativeSession struct {
 	bo    *native.Backoff
 	rec   *record.Recorder
 	live  *liveState
-	// quiesce is the global completed-transaction interval between
-	// forced quiescent cuts, scaled by the admitted worker count so the
-	// cadence matches the old barrier's one rendezvous per
-	// QuiesceEvery rounds of every process (0 = never).
+	// quiesce is the per-worker completed-transaction interval between
+	// forced quiescent cuts (0 = never). Each shard group drives its
+	// own cadence on its own counter — one cut per quiesce completed
+	// transactions of every admitted worker in the group — so admitting
+	// workers to one shard does not stretch the cut interval (and with
+	// it the live checker's memory bound) on the others.
 	quiesce int
-	cutTick atomic.Int64
+	shards  int
+	cutTick []atomic.Int64 // per shard group
 
-	// cutMu is held shared around every transaction; a quiescent cut
-	// takes it exclusively, so at the instant the cut holds the lock no
-	// transaction is in flight anywhere and the recorded stream has a
-	// genuine cut at that stamp. Idle workers hold nothing, so — unlike
-	// the batch barrier — a cut never waits on a worker that has no
-	// work.
-	cutMu sync.RWMutex
+	// cutMu[k] is held shared around every transaction shard k's
+	// workers run; a quiescent cut on shard k takes it exclusively, so
+	// at the instant the cut holds the lock no shard-k transaction is
+	// in flight and the recorded stream has a shard-local cut at that
+	// stamp. Idle workers hold nothing, so — unlike the batch barrier —
+	// a cut never waits on a worker that has no work. Once spanning is
+	// set (some transaction touched a variable outside its worker's
+	// shard), cuts sweep every shard's lock in index order instead — a
+	// global pause; workers hold at most one read lock, so the ordered
+	// sweep cannot deadlock.
+	cutMu    []sync.RWMutex
+	spanning atomic.Bool
+
+	// cutLat is the bounded per-shard reservoir of recent cut pause
+	// latencies (see cutSampleCap); stats() folds it into percentiles.
+	cutLat struct {
+		sync.Mutex
+		count   []uint64
+		samples [][]int64
+	}
 
 	mu        sync.Mutex
 	workCond  *sync.Cond // work arrived, or the session closed
@@ -161,7 +184,12 @@ func openNativeSession(info native.Info, cfg SessionConfig) (*nativeSession, err
 		pinnedQ:   make([][]*sessionJob, cfg.MaxWorkers),
 		commits:   make([]atomic.Uint64, cfg.MaxWorkers),
 		closeDone: make(chan struct{}),
+		shards:    cfg.Shards,
+		cutTick:   make([]atomic.Int64, cfg.Shards),
+		cutMu:     make([]sync.RWMutex, cfg.Shards),
 	}
+	s.cutLat.count = make([]uint64, cfg.Shards)
+	s.cutLat.samples = make([][]int64, cfg.Shards)
 	if observable {
 		s.obsTM = obsTM
 	}
@@ -177,21 +205,35 @@ func openNativeSession(info native.Info, cfg SessionConfig) (*nativeSession, err
 		for i := range procs {
 			procs[i] = model.Proc(i + 1)
 		}
-		mon, err := monitor.New(monitor.Config{
+		mcfg := monitor.Config{
 			SegmentTxns: segTxns, TailWindow: cfg.LiveTailWindow, Procs: procs, Approx: true,
-		})
+		}
+		if cfg.Shards > 1 {
+			// Mirror the session's contiguous shard assignment so the
+			// checker lanes line up with the cut groups (Proc is
+			// 1-based: worker p records as Proc p+1).
+			vars, shards, maxW := cfg.Vars, cfg.Shards, cfg.MaxWorkers
+			mcfg.Shards = shards
+			mcfg.VarShard = func(v model.TVar) int { return int(v) * shards / vars }
+			mcfg.ProcShard = func(p model.Proc) int { return (int(p) - 1) * shards / maxW }
+		}
+		mon, err := monitor.New(mcfg)
 		if err != nil {
 			return nil, err
 		}
 		s.live = &liveState{mon: mon, stop: make(chan struct{}), done: make(chan struct{})}
-		s.rec = record.NewWithOptions(cfg.MaxWorkers, record.Options{
+		ropts := record.Options{
 			CapacityHint:   recorderHint,
 			StreamCapacity: liveStreamCap,
 			Stop:           s.live.stop,
 			// Without Record the stream is the only consumer, so the
 			// per-process chunk rings recycle and allocation stays flat.
 			DropStreamed: !cfg.Record,
-		})
+		}
+		if cfg.Shards > 1 {
+			ropts.ShardOf = func(p model.Proc) int { return s.shardOfWorker(int(p) - 1) }
+		}
+		s.rec = record.NewWithOptions(cfg.MaxWorkers, ropts)
 		go s.runPump()
 	} else if cfg.Record {
 		s.rec = record.New(cfg.MaxWorkers, recorderHint)
@@ -321,13 +363,15 @@ func (s *nativeSession) worker(p int) {
 			res = ErrStopped
 		}
 		if s.quiesce > 0 {
-			// One global cut per QuiesceEvery completed transactions of
-			// every admitted worker — the batch barrier's cadence,
-			// driven by a shared counter since workers are not in
-			// lockstep.
-			interval := int64(s.quiesce) * int64(s.admitted.Load())
-			if s.cutTick.Add(1)%interval == 0 {
-				s.forceCut()
+			// One cut per QuiesceEvery completed transactions of every
+			// admitted worker in this worker's shard group — the batch
+			// barrier's cadence, driven by a shared group counter since
+			// workers are not in lockstep, and group-local so admission
+			// into one shard does not stretch the others' intervals.
+			k := s.shardOfWorker(p)
+			interval := int64(s.quiesce) * int64(s.groupSize(k))
+			if interval > 0 && s.cutTick[k].Add(1)%interval == 0 {
+				s.forceCut(k)
 			}
 		}
 		if j.done != nil {
@@ -353,8 +397,13 @@ func (s *nativeSession) execute(p int, body Body, obs native.Observer, stop <-ch
 		default:
 		}
 	}
+	home := s.shardOfWorker(p)
 	fn := func(tx native.Txn) error {
-		if err := body(nativeTx{tx: tx}); errors.Is(err, ErrAborted) {
+		var h Tx = nativeTx{tx: tx}
+		if s.shards > 1 {
+			h = &spanTx{tx: tx, s: s, home: home}
+		}
+		if err := body(h); errors.Is(err, ErrAborted) {
 			// Hand the abort back to the native retry loop.
 			return native.ErrAborted
 		} else {
@@ -362,8 +411,9 @@ func (s *nativeSession) execute(p int, body Body, obs native.Observer, stop <-ch
 		}
 	}
 	if s.quiesce > 0 {
-		s.cutMu.RLock()
-		defer s.cutMu.RUnlock()
+		mu := &s.cutMu[home]
+		mu.RLock()
+		defer mu.RUnlock()
 	}
 	if s.obsTM != nil {
 		return s.obsTM.AtomicallyOpts(native.RunOpts{
@@ -373,14 +423,119 @@ func (s *nativeSession) execute(p int, body Body, obs native.Observer, stop <-ch
 	return s.tm.Atomically(fn)
 }
 
-// forceCut takes the cut lock exclusively: new transactions wait,
-// in-flight ones finish, and the instant the lock is held the recorded
-// stream has a quiescent cut — the streaming checker's flush point.
-func (s *nativeSession) forceCut() {
-	s.cutMu.Lock()
-	//lint:ignore SA2001 the empty critical section is the point: holding
-	// the lock exclusively for one instant is the quiescent cut.
-	s.cutMu.Unlock()
+// shardOfVar maps variable v to its shard: contiguous equal splits, so
+// a disjoint workload's per-process variable blocks align with whole
+// shards. Must agree with the VarShard the monitor was wired with.
+func (s *nativeSession) shardOfVar(v int) int { return v * s.shards / s.cfg.Vars }
+
+// shardOfWorker maps worker p to its shard group: contiguous blocks of
+// MaxWorkers/Shards workers, lining up with shardOfVar's split when
+// the worker and variable counts are proportional.
+func (s *nativeSession) shardOfWorker(p int) int { return p * s.shards / s.cfg.MaxWorkers }
+
+// groupSize is the number of admitted workers in shard group k. When
+// Workers < MaxWorkers the admitted prefix fills low groups first, so
+// trailing groups may be smaller (or empty, taking no cuts) until
+// AddWorkers grows into them.
+func (s *nativeSession) groupSize(k int) int {
+	g := s.cfg.MaxWorkers / s.shards
+	n := int(s.admitted.Load()) - k*g
+	if n > g {
+		n = g
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// spanTx wraps a sharded session's per-attempt handle to notice the
+// first access outside the worker's home shard. From then on the
+// session's quiescent cuts go global: a shard-local pause can no
+// longer certify quiescence once transactions span shards. The checker
+// side stays sound either way (spanning transactions are merged across
+// lanes); the flag only decides how much the cuts pause.
+type spanTx struct {
+	tx   native.Txn
+	s    *nativeSession
+	home int
+	seen bool
+}
+
+func (t *spanTx) note(i int) {
+	if !t.seen && t.s.shardOfVar(i) != t.home {
+		t.seen = true
+		t.s.spanning.Store(true)
+	}
+}
+
+func (t *spanTx) Read(i int) (int64, error) {
+	t.note(i)
+	v, err := t.tx.Read(i)
+	if errors.Is(err, native.ErrAborted) {
+		return 0, ErrAborted
+	}
+	return v, err
+}
+
+func (t *spanTx) Write(i int, v int64) error {
+	t.note(i)
+	if err := t.tx.Write(i, v); errors.Is(err, native.ErrAborted) {
+		return ErrAborted
+	} else {
+		return err
+	}
+}
+
+// forceCut takes shard k's cut lock exclusively: new shard-k
+// transactions wait, in-flight ones finish, and the instant the lock
+// is held the recorded stream has a quiescent cut on that shard — the
+// streaming checker's flush point. After a spanning transaction the
+// cut degrades to a global pause: every shard's lock, swept in index
+// order, held together for one instant.
+func (s *nativeSession) forceCut(k int) {
+	start := time.Now()
+	if s.spanning.Load() {
+		for i := range s.cutMu {
+			s.cutMu[i].Lock()
+		}
+		for i := range s.cutMu {
+			s.cutMu[i].Unlock()
+		}
+	} else {
+		s.cutMu[k].Lock()
+		//lint:ignore SA2001 the empty critical section is the point:
+		// holding the lock exclusively for one instant is the cut.
+		s.cutMu[k].Unlock()
+	}
+	s.noteCut(k, time.Since(start).Nanoseconds())
+}
+
+// noteCut records one cut's pause latency into shard k's bounded
+// reservoir (overwriting the oldest sample once full).
+func (s *nativeSession) noteCut(k int, ns int64) {
+	c := &s.cutLat
+	c.Lock()
+	if buf := c.samples[k]; len(buf) < cutSampleCap {
+		c.samples[k] = append(buf, ns)
+	} else {
+		buf[c.count[k]%cutSampleCap] = ns
+	}
+	c.count[k]++
+	c.Unlock()
+}
+
+// cutSummary folds a latency reservoir into CutStats percentiles.
+func cutSummary(count uint64, samples []int64) CutStats {
+	st := CutStats{Count: count}
+	if len(samples) == 0 {
+		return st
+	}
+	sorted := append([]int64(nil), samples...)
+	slices.Sort(sorted)
+	st.P50ns = sorted[len(sorted)/2]
+	st.P99ns = sorted[(len(sorted)-1)*99/100]
+	return st
 }
 
 func (s *nativeSession) drain(ctx context.Context) error {
@@ -429,6 +584,27 @@ func (s *nativeSession) stats() SessionStats {
 		st.RecorderChunks = s.rec.Chunks()
 		st.Truncated = s.rec.Truncated()
 	}
+	st.Shards = s.shards
+	c := &s.cutLat
+	c.Lock()
+	var (
+		totalCuts uint64
+		allSamp   []int64
+		perShard  []CutStats
+	)
+	if s.shards > 1 {
+		perShard = make([]CutStats, s.shards)
+	}
+	for k := 0; k < s.shards; k++ {
+		totalCuts += c.count[k]
+		allSamp = append(allSamp, c.samples[k]...)
+		if perShard != nil {
+			perShard[k] = cutSummary(c.count[k], c.samples[k])
+		}
+	}
+	c.Unlock()
+	st.CutLatency = cutSummary(totalCuts, allSamp)
+	st.ShardCuts = perShard
 	return st
 }
 

@@ -1,0 +1,53 @@
+package native
+
+import "testing"
+
+// TestAllocBudgetPerCommit pins the steady-state allocation cost of
+// one committed read-modify-write transaction per algorithm. The
+// pooled scratch (recyclable) is what keeps the lock-based algorithms
+// at (near) zero; DSTM pays for its per-attempt descriptor and
+// per-write locator by design, and Mutex for its unpooled one-shot
+// handle. Budgets are ceilings with one alloc of slack for GC noise
+// (a drained sync.Pool refills once), not exact figures.
+func TestAllocBudgetPerCommit(t *testing.T) {
+	budgets := map[string]float64{
+		"native-mutex":   3,
+		"native-tl2":     1,
+		"native-norec":   1,
+		"native-tinystm": 1,
+		"native-dstm":    4,
+	}
+	for _, info := range Algorithms() {
+		t.Run(info.Name, func(t *testing.T) {
+			budget, ok := budgets[info.Name]
+			if !ok {
+				t.Fatalf("no allocation budget for %s", info.Name)
+			}
+			tm, err := info.New(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := func(tx Txn) error {
+				v, err := tx.Read(3)
+				if err != nil {
+					return err
+				}
+				return tx.Write(3, v+1)
+			}
+			// Warm the pools so the measurement sees the steady state.
+			for i := 0; i < 16; i++ {
+				if err := tm.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(200, func() {
+				if err := tm.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > budget {
+				t.Errorf("%s: %.2f allocs per committed transaction, budget %.0f", info.Name, got, budget)
+			}
+		})
+	}
+}

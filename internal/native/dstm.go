@@ -1,6 +1,9 @@
 package native
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DSTM is a DSTM-style obstruction-free STM: every variable points at
 // an ownership record (locator) naming the writing transaction and
@@ -13,6 +16,7 @@ import "sync/atomic"
 type DSTM struct {
 	counters
 	vars []atomic.Pointer[locator]
+	pool sync.Pool // recycled *dstmTxn scratch
 }
 
 var _ TM = (*DSTM)(nil)
@@ -89,7 +93,14 @@ func (t *DSTM) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
 }
 
 func (t *DSTM) begin() attempt {
-	return &dstmTxn{tm: t, desc: &dstmDesc{}}
+	tx, _ := t.pool.Get().(*dstmTxn)
+	if tx == nil {
+		tx = &dstmTxn{tm: t}
+	}
+	// The descriptor cannot be recycled: settled locators keep pointing
+	// at it forever, so reusing one would rewrite their resolution.
+	tx.desc = &dstmDesc{}
+	return tx
 }
 
 type dstmRead struct {
@@ -103,6 +114,15 @@ type dstmTxn struct {
 	reads []dstmRead
 	owned map[int]*locator
 	dead  bool
+}
+
+// recycle implements recyclable: clear the logs, keep the capacity
+// (the descriptor and locators stay behind — see begin).
+func (tx *dstmTxn) recycle() {
+	tx.reads = tx.reads[:0]
+	clear(tx.owned)
+	tx.dead = false
+	tx.tm.pool.Put(tx)
 }
 
 // settle returns the variable's locator with its owner in a settled

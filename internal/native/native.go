@@ -99,6 +99,23 @@ type attempt interface {
 	abandon()
 }
 
+// recyclable is implemented by attempts that keep reusable scratch —
+// read logs, write maps, lock-order buffers. The shared retry loop
+// hands every terminal attempt back through recycle, so a TM's pool
+// can serve the next begin() from the same allocation instead of
+// growing per-transaction garbage; the allocation budget asserted by
+// BenchmarkAllocsPerCommit rests on this.
+type recyclable interface{ recycle() }
+
+// recycle returns a terminal attempt's scratch to its TM's pool. The
+// attempt must not be touched afterwards: the same allocation may
+// already be serving another worker's begin().
+func recycle(tx attempt) {
+	if r, ok := tx.(recyclable); ok {
+		r.recycle()
+	}
+}
+
 // counters is embedded by every TM. The two words live on separate
 // cache lines so commit and abort traffic do not false-share.
 type counters struct {
@@ -161,6 +178,7 @@ func runAtomically(c *counters, begin func() attempt, opts RunOpts, fn func(Txn)
 			}
 			if committed {
 				c.commits.Add(1)
+				recycle(tx)
 				return nil
 			}
 			// A failed commit already cleans up after itself, but
@@ -173,6 +191,7 @@ func runAtomically(c *counters, begin func() attempt, opts RunOpts, fn func(Txn)
 			if obs != nil {
 				obs.Abandon()
 			}
+			recycle(tx)
 			return err
 		} else {
 			tx.abandon()
@@ -185,6 +204,7 @@ func runAtomically(c *counters, begin func() attempt, opts RunOpts, fn func(Txn)
 				obs.Abandon()
 			}
 		}
+		recycle(tx)
 		c.aborts.Add(1)
 		bo.wait(opts.Proc, round)
 	}

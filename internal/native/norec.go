@@ -2,6 +2,7 @@ package native
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -16,6 +17,7 @@ type NOrec struct {
 	seq  atomic.Uint64
 	_    [7]uint64
 	vals []vcell
+	pool sync.Pool // recycled *norecTxn scratch
 }
 
 var _ TM = (*NOrec)(nil)
@@ -53,7 +55,12 @@ func (t *NOrec) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
 }
 
 func (t *NOrec) begin() attempt {
-	return &norecTxn{tm: t, snapshot: t.waitStable()}
+	tx, _ := t.pool.Get().(*norecTxn)
+	if tx == nil {
+		tx = &norecTxn{tm: t}
+	}
+	tx.snapshot = t.waitStable()
+	return tx
 }
 
 // waitStable spins until the sequence lock is even and returns it.
@@ -78,6 +85,14 @@ type norecTxn struct {
 	reads    []norecRead
 	writes   map[int]int64
 	dead     bool
+}
+
+// recycle implements recyclable: clear the logs, keep the capacity.
+func (tx *norecTxn) recycle() {
+	tx.reads = tx.reads[:0]
+	clear(tx.writes)
+	tx.dead = false
+	tx.tm.pool.Put(tx)
 }
 
 // validate re-reads the log by value against a stable snapshot; it

@@ -1,5 +1,7 @@
 package native
 
+import "sync"
+
 // TinySTM is a TinySTM-style STM: encounter-time locking on the
 // shared stripe table (a writer owns its stripes from first write to
 // commit), write-back buffering, and timestamp extension — a read
@@ -9,6 +11,7 @@ type TinySTM struct {
 	counters
 	clock *shardedClock
 	table *stripeTable
+	pool  sync.Pool // recycled *tinyTxn scratch
 }
 
 var _ TM = (*TinySTM)(nil)
@@ -46,7 +49,12 @@ func (t *TinySTM) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
 }
 
 func (t *TinySTM) begin() attempt {
-	return &tinyTxn{tm: t, rv: t.clock.Sample()}
+	tx, _ := t.pool.Get().(*tinyTxn)
+	if tx == nil {
+		tx = &tinyTxn{tm: t}
+	}
+	tx.rv = t.clock.Sample()
+	return tx
 }
 
 type tinyRead struct {
@@ -61,6 +69,15 @@ type tinyTxn struct {
 	writes map[int]int64
 	owned  map[int]uint64 // stripe -> pre-lock word
 	dead   bool
+}
+
+// recycle implements recyclable: clear the logs, keep the capacity.
+func (tx *tinyTxn) recycle() {
+	tx.reads = tx.reads[:0]
+	clear(tx.writes)
+	clear(tx.owned)
+	tx.dead = false
+	tx.tm.pool.Put(tx)
 }
 
 // validateReads checks that every read's observed stripe version is
@@ -104,7 +121,7 @@ func (tx *tinyTxn) releaseOwned() {
 	for s, pre := range tx.owned {
 		tx.tm.table.locks[s].unlock(pre)
 	}
-	tx.owned = nil
+	clear(tx.owned) // keep the map for the pooled scratch
 }
 
 func (tx *tinyTxn) Read(i int) (int64, error) {
@@ -208,6 +225,6 @@ func (tx *tinyTxn) commit() bool {
 	for s := range tx.owned {
 		tab.locks[s].unlock(versionWord(wv))
 	}
-	tx.owned = nil
+	clear(tx.owned)
 	return true
 }

@@ -1,5 +1,7 @@
 package native
 
+import "sync"
+
 // TL2 is a TL2-style STM: sharded global version clock, invisible
 // reads validated against a read version, commit-time locking in
 // stripe order over the shared striped lock table.
@@ -7,6 +9,7 @@ type TL2 struct {
 	counters
 	clock *shardedClock
 	table *stripeTable
+	pool  sync.Pool // recycled *tl2Txn scratch
 }
 
 var _ TM = (*TL2)(nil)
@@ -44,7 +47,12 @@ func (t *TL2) AtomicallyOpts(opts RunOpts, fn func(Txn) error) error {
 }
 
 func (t *TL2) begin() attempt {
-	return &tl2Txn{tm: t, rv: t.clock.Sample(), writes: make(map[int]int64)}
+	tx, _ := t.pool.Get().(*tl2Txn)
+	if tx == nil {
+		tx = &tl2Txn{tm: t, writes: make(map[int]int64)}
+	}
+	tx.rv = t.clock.Sample()
+	return tx
 }
 
 type tl2Txn struct {
@@ -54,6 +62,21 @@ type tl2Txn struct {
 	writes map[int]int64
 	order  []int // variable indexes in first-write order
 	dead   bool
+	// commit scratch, recycled with the rest: distinct write stripes in
+	// lock order and their pre-lock words.
+	stripes []int
+	seen    map[int]uint64
+}
+
+// recycle implements recyclable: clear the logs, keep the capacity.
+func (tx *tl2Txn) recycle() {
+	tx.reads = tx.reads[:0]
+	clear(tx.writes)
+	tx.order = tx.order[:0]
+	tx.stripes = tx.stripes[:0]
+	clear(tx.seen)
+	tx.dead = false
+	tx.tm.pool.Put(tx)
 }
 
 func (tx *tl2Txn) Read(i int) (int64, error) {
@@ -107,9 +130,14 @@ func (tx *tl2Txn) commit() bool {
 	}
 	tab := tx.tm.table
 
-	// Distinct write stripes in ascending order (deadlock-free).
-	stripes := make([]int, 0, len(tx.order))
-	seen := make(map[int]uint64, len(tx.order))
+	// Distinct write stripes in ascending order (deadlock-free), built
+	// in the transaction's pooled scratch.
+	stripes := tx.stripes[:0]
+	seen := tx.seen
+	if seen == nil {
+		seen = make(map[int]uint64, len(tx.order))
+		tx.seen = seen
+	}
 	for _, i := range tx.order {
 		s := tab.stripe(i)
 		if _, dup := seen[s]; !dup {
@@ -117,6 +145,7 @@ func (tx *tl2Txn) commit() bool {
 			stripes = append(stripes, s)
 		}
 	}
+	tx.stripes = stripes
 	sortInts(stripes)
 
 	acquired := 0

@@ -58,10 +58,16 @@ type stamped struct {
 // Streamed is one stamped event published on the live stream. Seq is
 // the event's position in the recorded total order (1-based,
 // contiguous across processes), which the consumer uses to restore
-// that order from the channel's slightly reordered arrivals.
+// that order from the channel's slightly reordered arrivals. Shard is
+// the producing process's home shard (0 on an unsharded recorder) —
+// producer-side accounting a sharded consumer can use to pre-route
+// batches without parsing the event; the opacity checker itself
+// routes by variable, so the tag is advisory for events whose
+// transaction spans shards.
 type Streamed struct {
-	Seq uint64
-	Ev  model.Event
+	Seq   uint64
+	Shard int
+	Ev    model.Event
 }
 
 // streamBatch is how many events one stream send carries at most.
@@ -91,6 +97,10 @@ type Options struct {
 	// History returns nil and steady-state allocation is capped at the
 	// chunk ring. Only meaningful with StreamCapacity set.
 	DropStreamed bool
+	// ShardOf, when set, tags every published Streamed event with the
+	// producing process's home shard (see Streamed.Shard). Nil leaves
+	// the tag 0.
+	ShardOf func(p model.Proc) int
 }
 
 // Recorder owns the shared sequence counter and the per-process logs
@@ -137,6 +147,9 @@ func NewWithOptions(procs int, o Options) *Recorder {
 			proc: model.Proc(i + 1),
 			max:  MaxEventsPerProc,
 			drop: o.DropStreamed && r.stream != nil,
+		}
+		if o.ShardOf != nil {
+			l.shard = o.ShardOf(l.proc)
 		}
 		l.cur = l.newChunk(hint)
 		r.logs[i] = l
@@ -245,6 +258,7 @@ type ProcLog struct {
 	full  bool        // hit the cap; recording stopped
 	drop  bool        // recycle filled chunks instead of retaining them
 	mute  bool        // stop fired during a publish; no further sends
+	shard int         // home shard stamped on streamed events
 	batch []Streamed  // events stamped but not yet published
 }
 
@@ -305,7 +319,7 @@ func (l *ProcLog) publish(s stamped) {
 	if l.batch == nil {
 		l.batch = make([]Streamed, 0, streamBatch)
 	}
-	l.batch = append(l.batch, Streamed{Seq: s.seq, Ev: s.ev})
+	l.batch = append(l.batch, Streamed{Seq: s.seq, Shard: l.shard, Ev: s.ev})
 	if len(l.batch) == cap(l.batch) || s.ev.Kind == model.RespCommit || s.ev.Kind == model.RespAbort {
 		l.flushStream()
 	}

@@ -1,0 +1,311 @@
+package safety
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"livetm/internal/model"
+)
+
+// evenOddShard splits the two-variable test keyspace: even variables
+// to shard 0, odd to shard 1.
+func evenOddShard(v model.TVar) int { return int(v) % 2 }
+
+// feedSharded streams a whole history through a fresh sharded checker
+// and returns its verdict, folding a mid-stream violation into the
+// result the way Monitor does.
+func feedSharded(t *testing.T, h model.History, cfg ShardConfig) (SegmentedResult, error) {
+	t.Helper()
+	c, err := NewShardedChecker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range h {
+		if err := c.Feed(e); err != nil {
+			if errors.Is(err, ErrStreamNotOpaque) {
+				return c.Finish()
+			}
+			return SegmentedResult{}, err
+		}
+	}
+	return c.Finish()
+}
+
+// TestShardedAgreesOnFigures: the sharded checker reproduces the
+// paper-figure verdicts of the single checker.
+func TestShardedAgreesOnFigures(t *testing.T) {
+	tests := []struct {
+		name string
+		h    model.History
+		want bool
+	}{
+		{"fig1", fig1(), true},
+		{"fig3", fig3(), false},
+		{"fig4", fig4(), false},
+		{"fig8", figAlg1Termination(0), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := feedSharded(t, tt.h, ShardConfig{
+				Shards: 2, SegmentTxns: 8, VarShard: evenOddShard,
+			})
+			if err != nil && !errors.Is(err, ErrStreamNotOpaque) {
+				t.Fatal(err)
+			}
+			if res.Holds != tt.want && !(tt.want == false && res.Approx) {
+				t.Errorf("sharded = %v (%s), want %v", res.Holds, res.Reason, tt.want)
+			}
+		})
+	}
+}
+
+// The satellite property: sharded checking never flips a verdict
+// against the single-checker baseline on the same history. Concretely,
+// with the monolithic checker as ground truth on every random history
+// it can decide: a sharded violation is always real, and a sharded
+// non-approximate "holds" is always right. An approximate "holds" may
+// hide a violation (that is what Approx declares), never invent one.
+func TestShardedNeverFlipsVerdict(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		f := func(raw []uint8) bool {
+			h := genHistory(raw)
+			mono, err := CheckOpacity(h)
+			if err != nil {
+				return true
+			}
+			c, err := NewShardedChecker(ShardConfig{
+				Shards: shards, SegmentTxns: 4, VarShard: evenOddShard, Approx: true,
+			})
+			if err != nil {
+				return false
+			}
+			var streamErr error
+			for _, e := range h {
+				if streamErr = c.Feed(e); streamErr != nil {
+					break
+				}
+			}
+			res, ferr := c.Finish()
+			switch {
+			case errors.Is(streamErr, ErrStreamNotOpaque):
+				return !mono.Holds
+			case streamErr != nil:
+				return false
+			case ferr != nil:
+				return false
+			case !res.Holds:
+				return !mono.Holds
+			default:
+				return res.Approx || mono.Holds
+			}
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("shards=%d: %v", shards, err)
+		}
+	}
+}
+
+// TestShardedDisjointExact: per-shard counter chains on a 4-way
+// partition check exactly — no merges, no approximation — with every
+// lane contributing segments and the buffers staying bounded.
+func TestShardedDisjointExact(t *testing.T) {
+	const shards = 4
+	b := model.NewBuilder()
+	for i := 0; i < 200; i++ {
+		p := model.Proc(i%shards + 1)
+		x := model.TVar(int(p) - 1)
+		b.Read(p, x, model.Value(i/shards)).Write(p, x, model.Value(i/shards+1)).Commit(p)
+	}
+	c, err := NewShardedChecker(ShardConfig{
+		Shards: shards, SegmentTxns: 8,
+		VarShard: func(v model.TVar) int { return int(v) % shards },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBuffered := 0
+	for _, e := range b.History() {
+		if err := c.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+		if n := c.Buffered(); n > maxBuffered {
+			maxBuffered = n
+		}
+	}
+	res, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds || res.Approx {
+		t.Fatalf("disjoint chains must hold exactly: %+v", res)
+	}
+	for s, n := range c.PerShardSegments() {
+		if n == 0 {
+			t.Errorf("shard %d checked no segments", s)
+		}
+	}
+	if maxBuffered > shards*9*6 {
+		t.Errorf("buffer grew to %d events across %d shards", maxBuffered, shards)
+	}
+}
+
+// TestShardedDetectsLocalViolation: a violation confined to one shard
+// surfaces even while another shard's straddler keeps the stream from
+// ever quiescing globally.
+func TestShardedDetectsLocalViolation(t *testing.T) {
+	b := model.NewBuilder()
+	b.Raw(model.Read(3, 1), model.ValueResp(3, 0)) // shard-1 straddler
+	for i := 0; i < 6; i++ {
+		b.Read(1, 0, model.Value(i)).Write(1, 0, model.Value(i+1)).Commit(1)
+	}
+	b.Read(2, 0, 99).Commit(2) // unexplained shard-0 value
+	b.Raw(model.TryCommit(3), model.Commit(3))
+	res, err := feedSharded(t, b.History(), ShardConfig{
+		Shards: 2, SegmentTxns: 8, VarShard: evenOddShard,
+	})
+	if err != nil && !errors.Is(err, ErrStreamNotOpaque) {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatalf("shard-local violation lost: %+v", res)
+	}
+}
+
+// TestShardedCrossShardViolation is the ViolatingStream sweep variant
+// that plants the violation across the shard boundary: each shard's
+// projection is innocent on its own, so only the cross-shard merge
+// pass can reject. The sweep varies increments and staleness depth;
+// the single checker is the baseline on every instance.
+func TestShardedCrossShardViolation(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		for _, d := range []int{1, 2} {
+			if d > k {
+				continue
+			}
+			h := ViolatingStream(StreamGenConfig{Increments: k, StaleDepth: d, CrossShard: true})
+			base, err := feedAll(t, h, 64)
+			if err != nil && !errors.Is(err, ErrStreamNotOpaque) {
+				t.Fatal(err)
+			}
+			if err == nil && base.Holds {
+				t.Fatalf("k=%d d=%d: baseline accepted a violating stream", k, d)
+			}
+			// z (the straddler's variable) lands on shard 0 under the
+			// even/odd split, so the group is cut-starved until the end.
+			res, err := feedSharded(t, h, ShardConfig{
+				Shards: 2, SegmentTxns: 64, VarShard: evenOddShard,
+			})
+			if err != nil && !errors.Is(err, ErrStreamNotOpaque) {
+				t.Fatal(err)
+			}
+			if res.Holds {
+				t.Fatalf("k=%d d=%d: cross-shard violation lost: %+v", k, d, res)
+			}
+			// A 4-way split isolates z on shard 2: the x/y group
+			// quiesces after every spanning increment, and the merge
+			// pass alone must still reject.
+			res, err = feedSharded(t, h, ShardConfig{
+				Shards: 4, SegmentTxns: 16,
+				VarShard: func(v model.TVar) int { return int(v) % 4 },
+			})
+			if err != nil && !errors.Is(err, ErrStreamNotOpaque) {
+				t.Fatal(err)
+			}
+			if res.Holds {
+				t.Fatalf("k=%d d=%d: merge pass missed the cross-shard violation: %+v", k, d, res)
+			}
+		}
+	}
+}
+
+// TestShardedViolatingStreamSweep: on every classic ViolatingStream
+// variant and budget, the sharded checker is no weaker than the
+// single checker — wherever the baseline rejects, the sharded one
+// either rejects too or holds only under an explicit approximation
+// (the straddler-waiver miss window both document).
+func TestShardedViolatingStreamSweep(t *testing.T) {
+	cfgs := []StreamGenConfig{
+		{Increments: 6, StaleDepth: 1},
+		{Increments: 6, StaleDepth: 3, OpenReader: true},
+		{Increments: 6, StaleDepth: 1, StraddlerViolation: true},
+		{Increments: 6, StaleDepth: 2, CrossShard: true},
+	}
+	for _, gen := range cfgs {
+		h := ViolatingStream(gen)
+		for _, budget := range []int{3, 8, 63} {
+			c, err := NewShardedChecker(ShardConfig{
+				Shards: 2, SegmentTxns: budget, VarShard: evenOddShard, Approx: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var streamErr error
+			for _, e := range h {
+				if streamErr = c.Feed(e); streamErr != nil {
+					break
+				}
+			}
+			if streamErr != nil && !errors.Is(streamErr, ErrStreamNotOpaque) {
+				t.Fatalf("%+v budget %d: %v", gen, budget, streamErr)
+			}
+			res, err := c.Finish()
+			if err != nil {
+				t.Fatalf("%+v budget %d: %v", gen, budget, err)
+			}
+			if res.Holds && !res.Approx {
+				t.Errorf("%+v budget %d: violating stream accepted exactly: %+v", gen, budget, res)
+			}
+		}
+	}
+}
+
+// TestShardedStraddlerFalseAlarm: the two-straddler fixture that is
+// genuinely opaque must survive sharded forced frontiers too.
+func TestShardedStraddlerFalseAlarm(t *testing.T) {
+	b := model.NewBuilder()
+	b.Raw(model.Read(3, 0), model.ValueResp(3, 0))
+	b.Read(1, 0, 0).Write(1, 0, 1).Commit(1)
+	b.Raw(model.Read(4, 0), model.ValueResp(4, 1))
+	for i := 1; i < 9; i++ {
+		b.Read(1, 0, model.Value(i)).Write(1, 0, model.Value(i+1)).Commit(1)
+	}
+	b.Raw(model.TryCommit(3), model.Commit(3))
+	b.Raw(model.TryCommit(4), model.Commit(4))
+	res, err := feedSharded(t, b.History(), ShardConfig{
+		Shards: 2, SegmentTxns: 3, VarShard: evenOddShard, Approx: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("opaque two-straddler stream judged violating: %s", res.Reason)
+	}
+	if !res.Approx || res.RelaxedStraddlers == 0 {
+		t.Fatalf("waivers must be reported: %+v", res)
+	}
+}
+
+// TestShardedValidation covers the constructor's contract.
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewShardedChecker(ShardConfig{Shards: 0, SegmentTxns: 4}); err == nil {
+		t.Error("0 shards must be rejected")
+	}
+	if _, err := NewShardedChecker(ShardConfig{Shards: 2, SegmentTxns: 4}); err == nil {
+		t.Error("missing VarShard must be rejected")
+	}
+	if _, err := NewShardedChecker(ShardConfig{Shards: 1, SegmentTxns: 65}); !errors.Is(err, ErrTooManyTransactions) {
+		t.Errorf("budget 65: err = %v, want ErrTooManyTransactions", err)
+	}
+	c, err := NewShardedChecker(ShardConfig{Shards: 1, SegmentTxns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Finish()
+	if err != nil || !res.Holds {
+		t.Errorf("empty stream must hold: %+v, %v", res, err)
+	}
+	if err := c.Feed(model.Commit(1)); err == nil {
+		t.Error("Feed after Finish must error")
+	}
+}

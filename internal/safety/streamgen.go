@@ -33,6 +33,18 @@ type StreamGenConfig struct {
 	// frontier (see StreamChecker), trading exactly this detection for
 	// false-alarm freedom.
 	StraddlerViolation bool
+	// CrossShard plants the violation across a variable boundary:
+	// every increment writes x and y together, and p2's read set pairs
+	// a fresh x = Increments with a stale y = Increments−StaleDepth.
+	// No reachable snapshot has that combination, but each variable's
+	// own value sequence is innocent — under a sharded checker that
+	// puts x and y in different shards, no single shard's projection
+	// contains the evidence and only the cross-shard merge pass can
+	// reject (see ShardedChecker). The straddler reads z, a third
+	// variable, so its shard placement (not the spanning increments)
+	// decides which lanes stay cut-starved. OpenReader and
+	// StraddlerViolation are ignored with CrossShard.
+	CrossShard bool
 }
 
 // ViolatingStream builds a well-formed history that is not opaque and
@@ -63,6 +75,7 @@ func ViolatingStream(cfg StreamGenConfig) model.History {
 	const (
 		x = model.TVar(0)
 		y = model.TVar(1)
+		z = model.TVar(2)
 	)
 	k := cfg.Increments
 	if k < 1 {
@@ -74,6 +87,37 @@ func ViolatingStream(cfg StreamGenConfig) model.History {
 	}
 	if d > k {
 		d = k
+	}
+	if cfg.CrossShard {
+		inc := func(h model.History, i int) model.History {
+			v := model.Value(i)
+			return h.Append(
+				model.Read(1, x), model.ValueResp(1, v),
+				model.Write(1, x, v+1), model.OK(1),
+				model.Read(1, y), model.ValueResp(1, v),
+				model.Write(1, y, v+1), model.OK(1),
+				model.TryCommit(1), model.Commit(1),
+			)
+		}
+		h := make(model.History, 0, 12*k+14)
+		h = h.Append(model.Read(3, z), model.ValueResp(3, 0))
+		for i := 0; i < k-d; i++ {
+			h = inc(h, i)
+		}
+		// p2 opens with the then-current y, stays open across the last
+		// StaleDepth increments, and pairs it with a fresh x: each read
+		// is individually current at some overlapping moment — both
+		// shard projections serialize p2 legally on their own — but no
+		// reachable snapshot has x = k and y = k−d together.
+		h = h.Append(model.Read(2, y), model.ValueResp(2, model.Value(k-d)))
+		for i := k - d; i < k; i++ {
+			h = inc(h, i)
+		}
+		h = h.Append(
+			model.Read(2, x), model.ValueResp(2, model.Value(k)),
+			model.TryCommit(2), model.Commit(2),
+		)
+		return h.Append(model.TryCommit(3), model.Commit(3))
 	}
 	h := make(model.History, 0, 6*k+14)
 	// The straddler: opens first, closes last.

@@ -193,6 +193,33 @@ type Result struct {
 	// BackoffCap is the native retry loop's spin-shift ceiling for the
 	// cell — the dynamic range starvation-aware backoff operated in.
 	BackoffCap int `json:"backoff_cap,omitempty"`
+	// Shards is the cell's keyspace-shard count (0 or 1 = unsharded):
+	// per-shard quiescent cuts in the session and one streaming-checker
+	// lane per shard in the live monitor.
+	Shards int `json:"shards,omitempty"`
+	// Cuts, CutP50ns and CutP99ns summarize the cell's quiescent-cut
+	// pauses across all shards: how many cuts were forced and the
+	// pause-latency percentiles in nanoseconds.
+	Cuts     uint64 `json:"cuts,omitempty"`
+	CutP50ns int64  `json:"cut_p50_ns,omitempty"`
+	CutP99ns int64  `json:"cut_p99_ns,omitempty"`
+	// PerShard breaks cut latency and checked segments down by shard on
+	// a sharded cell.
+	PerShard []ShardResult `json:"per_shard,omitempty"`
+}
+
+// ShardResult is one shard's slice of a sharded cell.
+type ShardResult struct {
+	Shard int `json:"shard"`
+	// Cuts, CutP50ns and CutP99ns are the shard's quiescent-cut count
+	// and pause-latency percentiles.
+	Cuts     uint64 `json:"cuts"`
+	CutP50ns int64  `json:"cut_p50_ns"`
+	CutP99ns int64  `json:"cut_p99_ns"`
+	// Segments is how many stream segments the shard's checker lane
+	// verified on its own (live cells only; cross-shard merged segments
+	// are attributed to no lane).
+	Segments int `json:"segments,omitempty"`
 }
 
 // Options selects the optional record/check path of a matrix run.
@@ -225,6 +252,13 @@ type Options struct {
 	// rerun with recording and monitoring off and the elapsed-time
 	// ratio lands in Result.RecorderOverhead.
 	Overhead bool
+	// Shards sweeps each native recorded/live cell over these keyspace-
+	// shard counts (see engine.RunConfig.Shards). 1 is the unsharded
+	// baseline; counts that do not fit a cell (not dividing its process
+	// count, or exceeding its processes or variables) are skipped for
+	// that cell, so one sweep can cover a heterogeneous matrix. Empty
+	// means unsharded only.
+	Shards []int
 }
 
 func (o Options) withDefaults() Options {
@@ -285,78 +319,117 @@ func RunMatrixOptions(engines []engine.Engine, specs []Spec, budget Budget, opts
 					cfg.QuiesceEvery = opts.QuiesceEvery
 				}
 			}
-			start := time.Now()
-			st, err := e.Run(cfg, spec.Body())
-			if err != nil {
-				return out, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
+			shardCounts := opts.Shards
+			if len(shardCounts) == 0 {
+				shardCounts = []int{1}
 			}
-			elapsed := time.Since(start).Seconds()
-			runElapsed := elapsed // before any post-hoc check time
-			r := Result{
-				Engine:     e.Name(),
-				Algorithm:  e.Algorithm(),
-				Substrate:  string(caps.Substrate),
-				Workload:   spec.Name,
-				Procs:      spec.Procs,
-				Vars:       spec.Vars,
-				Commits:    st.Commits,
-				Aborts:     st.Aborts,
-				AbortRate:  st.AbortRate(),
-				Recorded:   st.History != nil,
-				Live:       live,
-				BackoffCap: st.BackoffCap,
-			}
-			if live && st.Live != nil {
-				r.LivenessClass = st.Live.LivenessClass()
-				r.ApproxVerdict = st.Live.Opacity.Approx
-				if opts.Check {
-					// The live monitor already checked the cell as it
-					// ran — a violation would have stopped it and failed
-					// the matrix above — so its verdict is the cell's.
-					r.Checked = st.Live.Checked && st.Live.Opacity.Holds
+			for _, shards := range shardCounts {
+				if shards > 1 && (caps.Substrate != engine.Native ||
+					!(cfg.Record || cfg.Live) ||
+					shards&(shards-1) != 0 ||
+					spec.Procs%shards != 0 || shards > spec.Procs || shards > spec.Vars) {
+					continue // the count does not fit this cell
 				}
-			} else if opts.Check && r.Recorded {
-				// The post-hoc verification is part of the cell's
-				// checked-throughput figure: the live path pays its
-				// checker inside the run (overlapped on other cores), so
-				// the replayed check must stay on the clock too or the
-				// two would not be comparable.
-				t0 := time.Now()
-				checked, err := checkCell(st.History, opts)
+				cfg.Shards = shards
+				r, err := runCell(e, caps, spec, cfg, opts, live, len(out))
 				if err != nil {
-					return out, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
+					return out, err
 				}
-				r.Checked = checked
-				elapsed += time.Since(t0).Seconds()
+				out = append(out, r)
 			}
-			if caps.Substrate == engine.Simulated {
-				if st.Steps > 0 {
-					r.CommitsPerStep = float64(st.Commits) / float64(st.Steps)
-				}
-			} else if elapsed > 0 {
-				// Checked-throughput when the cell was checked (live or
-				// post-hoc), raw throughput otherwise.
-				r.OpsPerSec = float64(st.Commits) / elapsed
-			}
-			if opts.Overhead && caps.Substrate == engine.Native && (cfg.Record || cfg.Live) {
-				plain := cfg
-				plain.Record, plain.Live, plain.QuiesceEvery = false, false, 0
-				t0 := time.Now()
-				if _, err := e.Run(plain, spec.Body()); err != nil {
-					return out, fmt.Errorf("workload %s on %s (overhead baseline): %w", spec.Name, e.Name(), err)
-				}
-				// The numerator is the cell's run time only — a live
-				// run's overlapped monitoring is inherently inside it, a
-				// post-hoc check deliberately is not (that cost lands in
-				// the checked-throughput OpsPerSec instead).
-				if base := time.Since(t0).Seconds(); base > 0 {
-					r.RecorderOverhead = runElapsed / base
-				}
-			}
-			out = append(out, r)
 		}
 	}
 	return out, nil
+}
+
+// runCell executes one (engine, spec, shard-count) cell.
+func runCell(e engine.Engine, caps engine.Capabilities, spec Spec, cfg engine.RunConfig, opts Options, live bool, cell int) (Result, error) {
+	cfg.Seed = uint64(cell + 1)
+	start := time.Now()
+	st, err := e.Run(cfg, spec.Body())
+	if err != nil {
+		return Result{}, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
+	}
+	elapsed := time.Since(start).Seconds()
+	runElapsed := elapsed // before any post-hoc check time
+	r := Result{
+		Engine:     e.Name(),
+		Algorithm:  e.Algorithm(),
+		Substrate:  string(caps.Substrate),
+		Workload:   spec.Name,
+		Procs:      spec.Procs,
+		Vars:       spec.Vars,
+		Commits:    st.Commits,
+		Aborts:     st.Aborts,
+		AbortRate:  st.AbortRate(),
+		Recorded:   st.History != nil,
+		Live:       live,
+		BackoffCap: st.BackoffCap,
+	}
+	if live && st.Live != nil {
+		r.LivenessClass = st.Live.LivenessClass()
+		r.ApproxVerdict = st.Live.Opacity.Approx
+		if opts.Check {
+			// The live monitor already checked the cell as it
+			// ran — a violation would have stopped it and failed
+			// the matrix above — so its verdict is the cell's.
+			r.Checked = st.Live.Checked && st.Live.Opacity.Holds
+		}
+	} else if opts.Check && r.Recorded {
+		// The post-hoc verification is part of the cell's
+		// checked-throughput figure: the live path pays its
+		// checker inside the run (overlapped on other cores), so
+		// the replayed check must stay on the clock too or the
+		// two would not be comparable.
+		t0 := time.Now()
+		checked, err := checkCell(st.History, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("workload %s on %s: %w", spec.Name, e.Name(), err)
+		}
+		r.Checked = checked
+		elapsed += time.Since(t0).Seconds()
+	}
+	if caps.Substrate == engine.Simulated {
+		if st.Steps > 0 {
+			r.CommitsPerStep = float64(st.Commits) / float64(st.Steps)
+		}
+	} else if elapsed > 0 {
+		// Checked-throughput when the cell was checked (live or
+		// post-hoc), raw throughput otherwise.
+		r.OpsPerSec = float64(st.Commits) / elapsed
+	}
+	if opts.Overhead && caps.Substrate == engine.Native && (cfg.Record || cfg.Live) {
+		plain := cfg
+		plain.Record, plain.Live, plain.QuiesceEvery = false, false, 0
+		plain.Shards = 0 // shards exist for the checker the baseline drops
+		t0 := time.Now()
+		if _, err := e.Run(plain, spec.Body()); err != nil {
+			return Result{}, fmt.Errorf("workload %s on %s (overhead baseline): %w", spec.Name, e.Name(), err)
+		}
+		// The numerator is the cell's run time only — a live
+		// run's overlapped monitoring is inherently inside it, a
+		// post-hoc check deliberately is not (that cost lands in
+		// the checked-throughput OpsPerSec instead).
+		if base := time.Since(t0).Seconds(); base > 0 {
+			r.RecorderOverhead = runElapsed / base
+		}
+	}
+	r.Shards = st.Shards
+	r.Cuts = st.CutLatency.Count
+	r.CutP50ns = st.CutLatency.P50ns
+	r.CutP99ns = st.CutLatency.P99ns
+	if cfg.Shards > 1 {
+		// Distinguish the sweep's cells from the unsharded run.
+		r.Workload += fmt.Sprintf("/s%d", cfg.Shards)
+		for k, cs := range st.ShardCuts {
+			sr := ShardResult{Shard: k, Cuts: cs.Count, CutP50ns: cs.P50ns, CutP99ns: cs.P99ns}
+			if st.Live != nil && k < len(st.Live.ShardSegments) {
+				sr.Segments = st.Live.ShardSegments[k]
+			}
+			r.PerShard = append(r.PerShard, sr)
+		}
+	}
+	return r, nil
 }
 
 // checkCell verifies one recorded cell through the online monitor.
@@ -397,11 +470,14 @@ type Artifact struct {
 	Results []Result `json:"results"`
 }
 
-// ArtifactSchema versions the artifact layout. v2 adds the per-cell
+// ArtifactSchema versions the artifact layout. v2 added the per-cell
 // live/checked flags, liveness class, approx-verdict marker, recorder
 // overhead ratio and backoff cap, so the BENCH trajectory can compare
-// checked-throughput — not just raw throughput — across PRs.
-const ArtifactSchema = "livetm/workload-matrix/v2"
+// checked-throughput — not just raw throughput — across PRs. v3 adds
+// the shard count, the cut-latency summary (count, p50/p99 pause in
+// nanoseconds) and the per-shard breakdown (cuts, latency, checker-lane
+// segments), so sharded and unsharded cells are comparable in place.
+const ArtifactSchema = "livetm/workload-matrix/v3"
 
 // WriteArtifact writes the result cells and the budget they were
 // measured under as a JSON artifact.
@@ -415,19 +491,25 @@ func WriteArtifact(path string, budget Budget, results []Result) error {
 
 // FormatResults renders the cells as an aligned text table. The class
 // column appears once any cell carries a liveness classification or an
-// overhead figure (live/overhead matrix runs).
+// overhead figure (live/overhead matrix runs); the cut columns appear
+// once any cell took quiescent cuts.
 func FormatResults(results []Result) string {
-	classes := false
+	classes, cuts := false, false
 	for _, r := range results {
 		if r.LivenessClass != "" || r.RecorderOverhead > 0 {
 			classes = true
-			break
+		}
+		if r.Cuts > 0 {
+			cuts = true
 		}
 	}
 	out := fmt.Sprintf("%-16s %-24s %10s %10s %7s %12s %14s",
 		"engine", "workload", "commits", "aborts", "abrt%", "ops/sec", "commits/step")
 	if classes {
 		out += fmt.Sprintf(" %-18s %8s", "liveness", "rec-ovh")
+	}
+	if cuts {
+		out += fmt.Sprintf(" %8s %12s", "cuts", "cut-p99")
 	}
 	out += "\n"
 	for _, r := range results {
@@ -457,6 +539,13 @@ func FormatResults(results []Result) string {
 				ovh = fmt.Sprintf("%.2fx", r.RecorderOverhead)
 			}
 			out += fmt.Sprintf(" %-18s %8s", class, ovh)
+		}
+		if cuts {
+			lat := "-"
+			if r.Cuts > 0 {
+				lat = (time.Duration(r.CutP99ns) * time.Nanosecond).String()
+			}
+			out += fmt.Sprintf(" %8d %12s", r.Cuts, lat)
 		}
 		out += "\n"
 	}

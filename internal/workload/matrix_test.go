@@ -148,6 +148,62 @@ func TestRunMatrixCrossEngine(t *testing.T) {
 	}
 }
 
+// TestRunMatrixShardSweep sweeps one native engine over shard counts.
+// Every cell of a p4 matrix fits both counts, so each spec must
+// produce an unsharded baseline and an s4 cell, the s4 cell must carry
+// the per-shard cut breakdown, and no cell may flip its opacity
+// verdict (a violation would fail the sweep outright).
+func TestRunMatrixShardSweep(t *testing.T) {
+	e, ok := engine.Lookup("native-tl2")
+	if !ok {
+		t.Fatal("native-tl2 not registered")
+	}
+	specs := Matrix([]int{4})
+	results, err := RunMatrixOptions([]engine.Engine{e}, specs,
+		Budget{NativeOps: 24},
+		Options{Check: true, Live: true, QuiesceEvery: 2, Shards: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*len(specs) {
+		t.Fatalf("got %d cells, want %d (each spec at s1 and s4)", len(results), 2*len(specs))
+	}
+	checkedBase := map[string]bool{}
+	sharded := 0
+	for _, r := range results {
+		if r.Shards <= 1 {
+			if len(r.PerShard) != 0 {
+				t.Errorf("%s: unsharded cell has a per-shard breakdown", r.Workload)
+			}
+			checkedBase[r.Workload] = r.Checked
+			continue
+		}
+		sharded++
+		if r.Shards != 4 {
+			t.Errorf("%s: shards = %d, want 4", r.Workload, r.Shards)
+		}
+		if len(r.PerShard) != 4 {
+			t.Errorf("%s: %d per-shard entries, want 4", r.Workload, len(r.PerShard))
+		}
+		if r.Cuts == 0 {
+			t.Errorf("%s: sharded cell took no quiescent cuts", r.Workload)
+		}
+		var sum uint64
+		for k, s := range r.PerShard {
+			if s.Shard != k {
+				t.Errorf("%s: per-shard entry %d labeled shard %d", r.Workload, k, s.Shard)
+			}
+			sum += s.Cuts
+		}
+		if sum != r.Cuts {
+			t.Errorf("%s: per-shard cuts sum to %d, total says %d", r.Workload, sum, r.Cuts)
+		}
+	}
+	if sharded != len(specs) {
+		t.Errorf("%d sharded cells, want %d", sharded, len(specs))
+	}
+}
+
 // TestRunMatrixRecordChecked runs the record/check path on both
 // substrates: every recording-capable cell must capture a history and
 // pass the online monitor's well-formedness and opacity checks.
