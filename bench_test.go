@@ -27,6 +27,7 @@ import (
 	"livetm/internal/stm/glock"
 	"livetm/internal/stm/ostm"
 	"livetm/internal/stm/stmtest"
+	"livetm/internal/telemetry"
 	"livetm/internal/workload"
 )
 
@@ -493,13 +494,18 @@ func BenchmarkRecorderOverhead(b *testing.B) {
 		b.Fatal("native-tl2 not registered")
 	}
 	const ops = 2000
-	measure := func(b *testing.B, record, live bool) float64 {
+	measure := func(b *testing.B, record, live, instrumented bool) float64 {
 		var elapsed time.Duration
 		for i := 0; i < b.N; i++ {
+			var reg *telemetry.Registry
+			if instrumented {
+				reg = telemetry.NewRegistry()
+			}
 			start := time.Now()
 			st, err := e.Run(engine.RunConfig{
 				Procs: spec.Procs, Vars: spec.Vars,
 				OpsPerProc: ops, Record: record, Live: live,
+				Telemetry: reg,
 			}, spec.Body())
 			if err != nil {
 				b.Fatal(err)
@@ -524,15 +530,76 @@ func BenchmarkRecorderOverhead(b *testing.B) {
 		b.ReportMetric(rate, "commits/sec")
 		return rate
 	}
-	var raw, recorded, live float64
-	b.Run("unrecorded", func(b *testing.B) { raw = measure(b, false, false) })
-	b.Run("recorded", func(b *testing.B) { recorded = measure(b, true, false) })
-	b.Run("live", func(b *testing.B) { live = measure(b, false, true) })
-	if raw > 0 && recorded > 0 && live > 0 {
+	var raw, recorded, live, instrumented float64
+	b.Run("unrecorded", func(b *testing.B) { raw = measure(b, false, false, false) })
+	b.Run("recorded", func(b *testing.B) { recorded = measure(b, true, false, false) })
+	b.Run("live", func(b *testing.B) { live = measure(b, false, true, false) })
+	b.Run("instrumented", func(b *testing.B) { instrumented = measure(b, false, false, true) })
+	if raw > 0 && recorded > 0 && live > 0 && instrumented > 0 {
 		printHeader("recorder", fmt.Sprintf(
-			"recorder overhead (%s on native-tl2): unrecorded %.0f commits/sec, recorded %.0f commits/sec (%.2fx, budget 2x), live-monitored %.0f commits/sec (%.2fx)\n",
-			spec.Name, raw, recorded, raw/recorded, live, raw/live))
+			"recorder overhead (%s on native-tl2): unrecorded %.0f commits/sec, recorded %.0f commits/sec (%.2fx, budget 2x), live-monitored %.0f commits/sec (%.2fx), telemetry-instrumented %.0f commits/sec (%.2fx, budget %.1fx)\n",
+			spec.Name, raw, recorded, raw/recorded, live, raw/live,
+			instrumented, raw/instrumented, telemetry.OverheadBudgetRatio))
 	}
+}
+
+// BenchmarkTelemetryOverhead is the enforced telemetry budget: the
+// same low-contention native workload with a registered telemetry
+// registry versus bare instruments (SessionConfig.Telemetry == nil —
+// the identical atomics minus names, labels, and the clock-involving
+// Exec-latency/retry histograms). Best-of-three interleaved runs per
+// side to shave scheduler noise; the benchmark FAILS if the bare/
+// instrumented throughput ratio exceeds telemetry.OverheadBudgetRatio,
+// and CI runs it as a gate.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	var spec workload.Spec
+	for _, s := range workload.Matrix([]int{4}) {
+		if s.Mix.Name == "update" && s.Contention.Name == "cold" && s.Sharing == workload.Disjoint {
+			spec = s
+			break
+		}
+	}
+	if spec.Procs == 0 {
+		b.Fatal("p4 update cold disjoint cell not in workload matrix")
+	}
+	e, ok := engine.Lookup("native-tl2")
+	if !ok {
+		b.Fatal("native-tl2 not registered")
+	}
+	const ops = 4000
+	run := func(reg *telemetry.Registry) float64 {
+		start := time.Now()
+		st, err := e.Run(engine.RunConfig{
+			Procs: spec.Procs, Vars: spec.Vars, OpsPerProc: ops, Telemetry: reg,
+		}, spec.Body())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Commits == 0 {
+			b.Fatal("run committed nothing")
+		}
+		return float64(spec.Procs*ops) / time.Since(start).Seconds()
+	}
+	var bare, instrumented float64
+	for i := 0; i < b.N; i++ {
+		for rep := 0; rep < 3; rep++ {
+			if r := run(nil); r > bare {
+				bare = r
+			}
+			if r := run(telemetry.NewRegistry()); r > instrumented {
+				instrumented = r
+			}
+		}
+	}
+	ratio := bare / instrumented
+	b.ReportMetric(ratio, "overhead-x")
+	if ratio > telemetry.OverheadBudgetRatio {
+		b.Fatalf("telemetry overhead %.2fx exceeds budget %.1fx (bare %.0f ops/sec, instrumented %.0f ops/sec)",
+			ratio, telemetry.OverheadBudgetRatio, bare, instrumented)
+	}
+	printHeader("teloverhead", fmt.Sprintf(
+		"telemetry overhead (%s on native-tl2): bare %.0f ops/sec, instrumented %.0f ops/sec (%.2fx, budget %.1fx)\n",
+		spec.Name, bare, instrumented, ratio, telemetry.OverheadBudgetRatio))
 }
 
 // --- Ablations (DESIGN.md §5) ---

@@ -20,15 +20,22 @@
 //	    liveness class; -live=false degrades to a plain recorded run
 //	    (like `livetm record`).
 //
-//	livetm serve -engine NAME [-workers N] [-submitters N] [-mix M] [-contention C] [-sharing S] [-shards S] [-duration D] [-progress D]
+//	livetm serve -engine NAME [-workers N] [-submitters N] [-mix M] [-contention C] [-sharing S] [-shards S] [-duration D] [-progress D] [-metrics ADDR] [-flight FILE [-flight-every D]]
 //	    Run a native engine as a long-lived service: one session whose
 //	    worker pool serves transactions submitted by concurrent client
 //	    goroutines, with the in-process monitor resident for the
 //	    session's whole lifetime — the soak mode for native TMs.
-//	    Prints a progress line every -progress interval and drains
-//	    cleanly on SIGINT/SIGTERM (or after -duration), printing the
-//	    final monitor report and liveness class. A safety violation
-//	    stops the service mid-flight with a non-zero exit.
+//	    Prints a progress line every -progress interval (throughput,
+//	    abort-cause breakdown, per-shard checker-lane lag, backoff
+//	    bias) and drains cleanly on SIGINT/SIGTERM (or after
+//	    -duration), printing the final monitor report and liveness
+//	    class. A safety violation stops the service mid-flight with a
+//	    non-zero exit. -metrics ADDR serves the session's live
+//	    telemetry registry over HTTP — Prometheus text exposition at
+//	    /metrics, an indented JSON snapshot at /snapshot, and
+//	    net/http/pprof at /debug/pprof/ — and -flight FILE appends a
+//	    JSONL registry snapshot every -flight-every (default 1s) for
+//	    offline trajectory analysis.
 //
 //	livetm adversary [-tm NAME | -engine NAME | -matrix] [-alg 1|2] [-crash] [-parasitic] [-rounds N] [-out FILE] [-artifact FILE]
 //	    Run the Theorem 1 environment strategy against a TM and print
@@ -118,6 +125,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -139,6 +148,7 @@ import (
 	"livetm/internal/safety"
 	"livetm/internal/sim"
 	"livetm/internal/stm"
+	"livetm/internal/telemetry"
 	"livetm/internal/trace"
 	"livetm/internal/workload"
 )
@@ -935,8 +945,14 @@ func cmdServe(args []string) error {
 	quiesce := fs.Int("quiesce", 0, "quiescent-cut interval in completed transactions per worker (0 = the live default of 4, -1 = never)")
 	segment := fs.Int("segment", 0, "live checker segment budget in transactions (0 = default 48)")
 	shards := fs.Int("shards", 0, "keyspace shard count: shard-local quiescent cuts and one checker lane per shard (0 = unsharded; must be a power of two dividing -workers)")
+	metricsAddr := fs.String("metrics", "", "serve live telemetry on this address: Prometheus text at /metrics, JSON at /snapshot, pprof at /debug/pprof/ (empty = no endpoint)")
+	flight := fs.String("flight", "", "flight recorder: append a JSONL registry snapshot to this file every -flight-every (empty = off)")
+	flightEvery := fs.Duration("flight-every", time.Second, "flight-recorder snapshot interval")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *flightEvery <= 0 {
+		return fmt.Errorf("serve: -flight-every must be positive, got %v", *flightEvery)
 	}
 	if *progress <= 0 {
 		return fmt.Errorf("serve: -progress must be positive, got %v", *progress)
@@ -966,6 +982,10 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	// The soak service always registers its instruments: the progress
+	// lines read the registry, and the enforced overhead budget
+	// (telemetry.OverheadBudgetRatio) keeps it cheap either way.
+	reg := telemetry.NewRegistry()
 	s, err := e.Open(engine.SessionConfig{
 		Workers:         *workers,
 		Vars:            spec.Vars,
@@ -973,9 +993,32 @@ func cmdServe(args []string) error {
 		QuiesceEvery:    *quiesce,
 		LiveSegmentTxns: *segment,
 		Shards:          *shards,
+		Telemetry:       reg,
 	})
 	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			_, _ = s.Close()
+			return fmt.Errorf("serve: -metrics: %w", err)
+		}
+		srv := &http.Server{Handler: telemetry.Handler(reg)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Printf("serve: telemetry on http://%s/metrics (JSON at /snapshot, pprof at /debug/pprof/)\n", ln.Addr())
+	}
+	if *flight != "" {
+		f, err := os.OpenFile(*flight, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			_, _ = s.Close()
+			return fmt.Errorf("serve: -flight: %w", err)
+		}
+		fr := telemetry.NewFlightRecorder(reg, f, *flightEvery)
+		fr.Start()
+		defer func() { fr.Stop(); f.Close() }()
+		fmt.Printf("serve: flight recorder appending to %s every %v\n", *flight, *flightEvery)
 	}
 	fmt.Printf("serve: %s serving %s with %d workers, %d submitters (live=%v)\n",
 		e.Name(), spec.Name, *workers, *submitters, *live)
@@ -1038,9 +1081,11 @@ serving:
 		select {
 		case <-tick.C:
 			st := s.Stats()
-			fmt.Printf("serve: t=%-8s workers=%d submitted=%d completed=%d commits=%d aborts=%d (%.1f%%) bias=%v\n",
+			snap := reg.Snapshot()
+			fmt.Printf("serve: t=%-8s workers=%d submitted=%d completed=%d commits=%d aborts=%d (%.1f%%)%s%s bias=%v\n",
 				time.Since(start).Round(time.Second), st.Workers, st.Submitted, st.Completed,
-				st.Commits, st.Aborts, 100*st.AbortRate(), st.BackoffBias)
+				st.Commits, st.Aborts, 100*st.AbortRate(),
+				abortCauseSummary(snap), laneLagSummary(snap), st.BackoffBias)
 		case <-done:
 			break serving
 		}
@@ -1064,6 +1109,61 @@ serving:
 	default:
 	}
 	return nil
+}
+
+// abortCauseSummary renders the retry loop's abort-cause breakdown
+// from a registry snapshot (" causes=conflict:N,operation:M,..."),
+// listing only non-zero causes; empty before any abort.
+func abortCauseSummary(snap telemetry.Snapshot) string {
+	f := snap.Family("livetm_tx_aborts_total")
+	if f == nil {
+		return ""
+	}
+	var parts []string
+	for _, cause := range []string{"conflict", "operation", "abandoned", "stopped"} {
+		if v, ok := snap.Value("livetm_tx_aborts_total", "cause", cause); ok && v > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%.0f", cause, v))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " causes=" + strings.Join(parts, ",")
+}
+
+// laneLagSummary renders the per-shard checker-lane backlog from a
+// registry snapshot (" lag=[a b ...]" in shard order, the merge lane
+// excluded); empty when no checker telemetry is registered.
+func laneLagSummary(snap telemetry.Snapshot) string {
+	f := snap.Family("livetm_checker_lane_lag")
+	if f == nil {
+		return ""
+	}
+	lags := make(map[int]int64)
+	max := -1
+	for _, ser := range f.Series {
+		k, err := strconv.Atoi(ser.Label("shard"))
+		if err != nil {
+			continue // the merge lane
+		}
+		lags[k] = int64(ser.Value)
+		if k > max {
+			max = k
+		}
+	}
+	if max < 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" lag=[")
+	for k := 0; k <= max; k++ {
+		if k > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", lags[k])
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // cmdRecord runs one recording-capable engine over a workload-matrix

@@ -54,6 +54,26 @@
 // internal/engine's package documentation for when to use which
 // substrate.
 //
+// Every layer above is observable through one low-overhead telemetry
+// registry (internal/telemetry): dependency-free atomic counters,
+// gauges, and fixed log-bucketed histograms whose hot-path update is
+// a single atomic add. Passing SessionConfig.Telemetry threads one
+// registry through the native retry loop (starts, commits, aborts by
+// cause, retries, retry-latency and backoff-wait histograms per
+// algorithm), the session worker pool (queue depths, Exec latency,
+// admissions), the quiescent cuts (per-shard pause histograms — the
+// same instruments Stats.CutLatency/ShardCuts fold, so Stats is a
+// view of the registry, not a second set of counters), the recorder
+// (events, chunks, recycled, stream drops), the checker lanes
+// (segments, lane lag, forced cuts, relaxed straddlers), and the
+// monitor (live liveness class, per-process starvation, backoff
+// bias). `livetm serve -metrics ADDR` exposes the registry live as
+// Prometheus text, a JSON snapshot, and pprof; `-flight FILE`
+// appends periodic JSONL snapshots. A nil registry degrades to bare
+// instruments backing Stats alone, and the instrumented-vs-bare cost
+// ratio is benchmarked and CI-gated against
+// telemetry.OverheadBudgetRatio.
+//
 // The impossibility adversaries are substrate-agnostic too: the
 // strategy logic of Algorithms 1 and 2 (internal/adversary) runs once
 // against a driver interface, with a simulated backend stepping the

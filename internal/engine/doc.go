@@ -108,6 +108,42 @@
 // checker, and the simulated substrate (one runnable process, one
 // global order) rejects it.
 //
+// # Telemetry
+//
+// SessionConfig.Telemetry accepts a telemetry.Registry and turns the
+// session's internal accounting into scrapeable metric families. The
+// same instruments always exist — with a nil registry the session
+// allocates bare (unregistered) counters, gauges, and histograms that
+// cost exactly one atomic operation per update and back SessionStats;
+// with a registry those instruments are additionally named, labeled,
+// and visible to Snapshot/the HTTP handler, and the clock-involving
+// extras (Exec-latency histogram, the native retry loop's per-algo
+// transaction metrics) switch on. Stats is therefore a fold of the
+// registry, never a parallel set of counters: CutLatency and
+// ShardCuts are quantiles of the per-shard livetm_cut_pause_ns
+// histograms, Commits sums the per-worker
+// livetm_session_commits_total series, and so on.
+//
+// The family catalog spans every layer: livetm_tx_* from the native
+// retry loop (starts/commits/retries, aborts by cause, retry-latency
+// and backoff-wait histograms, labeled by algorithm); livetm_session_*
+// from the worker pool (submitted/completed, per-worker commits,
+// shared/pinned queue-depth gauges, worker count, AddWorkers
+// admissions, Exec latency); livetm_cut_pause_ns per shard;
+// livetm_recorder_* (events, chunk gauge, recycled, stream drops);
+// livetm_checker_* per lane plus a merge lane (segments, forced cuts,
+// relaxed straddlers, lane-lag gauges); and the monitor's live gauges
+// (livetm_monitor_liveness_class as a lattice ordinal,
+// livetm_monitor_starvation and livetm_backoff_bias per process).
+// Gauges owned by single-writer goroutines (lane lag, monitor class)
+// are pushed by their owners so scrapers never race workers; every
+// scrape works from an immutable Snapshot.
+//
+// The instrumented-vs-bare cost is an enforced budget, not a hope:
+// BenchmarkTelemetryOverhead compares sessions with and without a
+// registry and CI fails the build when the ratio exceeds
+// telemetry.OverheadBudgetRatio.
+//
 // Use the simulated substrate to ask "is it correct / live under this
 // exact adversarial schedule", the native substrate to ask "how fast
 // is it on this machine", a recorded native run to ask "was this real

@@ -6,6 +6,7 @@ import (
 
 	"livetm/internal/model"
 	"livetm/internal/monitor"
+	"livetm/internal/telemetry"
 )
 
 // Substrate identifies which execution substrate an engine runs on.
@@ -116,6 +117,9 @@ type RunConfig struct {
 	// streaming checkers (see SessionConfig.Shards; 0 or 1 =
 	// unsharded). Native substrate, recorded or live runs only.
 	Shards int
+	// Telemetry registers the run's instruments in the given registry
+	// (see SessionConfig.Telemetry); nil runs on bare instruments.
+	Telemetry *telemetry.Registry
 }
 
 // validate defers to the session validation of the run's mapped shape

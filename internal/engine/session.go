@@ -8,6 +8,7 @@ import (
 
 	"livetm/internal/model"
 	"livetm/internal/monitor"
+	"livetm/internal/telemetry"
 )
 
 // The session API is the open-world counterpart of the closed batch
@@ -128,6 +129,19 @@ type SessionConfig struct {
 	// rest of the session — the checker-side merge still keeps spanning
 	// verdicts sound either way.
 	Shards int
+	// Telemetry registers the session's instruments — submission and
+	// commit counters, lane queue depths, Exec latency, per-shard cut
+	// pauses, the native retry loop's per-algorithm transaction
+	// families, recorder and checker-lane telemetry, and (on live
+	// sessions) the monitor's liveness-class, starvation and backoff-
+	// bias gauges — in the given registry, where a /metrics scrape or a
+	// flight recorder can read them mid-run without touching session
+	// state. Nil keeps the session on bare (unregistered) instruments:
+	// the Stats-backing counters cost exactly the same, and the clock-
+	// involving extras (Exec latency, retry-latency and backoff-wait
+	// histograms) are skipped entirely — the uninstrumented baseline
+	// the telemetry-overhead benchmark compares against.
+	Telemetry *telemetry.Registry
 }
 
 func (cfg SessionConfig) withDefaults() SessionConfig {
@@ -206,9 +220,10 @@ func (cfg SessionConfig) validate(sub Substrate) error {
 
 // CutStats summarizes the latency of quiescent-cut pauses: how long
 // the exclusive lock acquisition + release took, in nanoseconds, over
-// Count cuts. Percentiles come from a bounded reservoir of recent
-// cuts (the latest ~4k per shard), so long sessions report current
-// behaviour rather than the full-lifetime distribution.
+// Count cuts. Percentiles come from the session's fixed log-bucketed
+// telemetry histograms (livetm_cut_pause_ns), so they cover the whole
+// session at flat memory, with at most 1/4 relative bucket error (see
+// internal/telemetry).
 type CutStats struct {
 	// Count is the number of cuts taken.
 	Count uint64
@@ -434,6 +449,7 @@ func (cfg RunConfig) session() SessionConfig {
 		LiveSegmentTxns: cfg.LiveSegmentTxns,
 		LiveTailWindow:  cfg.LiveTailWindow,
 		Shards:          cfg.Shards,
+		Telemetry:       cfg.Telemetry,
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"livetm/internal/monitor"
 	"livetm/internal/native"
 	"livetm/internal/record"
+	"livetm/internal/telemetry"
 )
 
 // Live-monitoring plumbing constants.
@@ -38,11 +38,6 @@ const (
 	// have no round budget to derive it from; the chunked buffers grow
 	// (or recycle) process-locally either way.
 	recorderHint = 1024
-	// cutSampleCap bounds each shard's cut-latency reservoir: the
-	// percentiles in SessionStats.CutLatency cover the most recent
-	// cutSampleCap cuts per shard, so a long session's numbers track
-	// current behaviour at flat memory.
-	cutSampleCap = 4096
 )
 
 // liveState couples one live session's monitor, backoff feedback loop
@@ -80,6 +75,10 @@ func (s *nativeSession) runPump() {
 				starvation = starvation[:n]
 			}
 			s.bo.Rebias(starvation)
+			// The pump goroutine owns the monitor, so the non-terminal
+			// class read here is race-free; the gauges carry it to any
+			// concurrent scraper.
+			s.met.syncLive(ls.mon.LivenessClassNow(), starvation, s.bo.BiasSnapshot())
 		},
 	}
 	pump.Run(s.rec.Stream())
@@ -132,13 +131,9 @@ type nativeSession struct {
 	cutMu    []sync.RWMutex
 	spanning atomic.Bool
 
-	// cutLat is the bounded per-shard reservoir of recent cut pause
-	// latencies (see cutSampleCap); stats() folds it into percentiles.
-	cutLat struct {
-		sync.Mutex
-		count   []uint64
-		samples [][]int64
-	}
+	// met holds every counter behind SessionStats plus the registered
+	// observability extras; see sessionMetrics. Always non-nil.
+	met *sessionMetrics
 
 	mu        sync.Mutex
 	workCond  *sync.Cond // work arrived, or the session closed
@@ -152,11 +147,7 @@ type nativeSession struct {
 	admitMu  sync.Mutex
 	wg       sync.WaitGroup
 
-	submitted atomic.Uint64
-	completed atomic.Uint64
-	commits   []atomic.Uint64
-	noCommits atomic.Uint64
-	stopped   atomic.Bool
+	stopped atomic.Bool
 
 	drainMu   sync.Mutex
 	drainCond *sync.Cond
@@ -182,16 +173,17 @@ func openNativeSession(info native.Info, cfg SessionConfig) (*nativeSession, err
 		tm:        tm,
 		bo:        native.NewBackoff(cfg.MaxWorkers),
 		pinnedQ:   make([][]*sessionJob, cfg.MaxWorkers),
-		commits:   make([]atomic.Uint64, cfg.MaxWorkers),
 		closeDone: make(chan struct{}),
 		shards:    cfg.Shards,
 		cutTick:   make([]atomic.Int64, cfg.Shards),
 		cutMu:     make([]sync.RWMutex, cfg.Shards),
+		met:       newSessionMetrics(cfg.Telemetry, info.Name, cfg.MaxWorkers, cfg.Shards, cfg.Live),
 	}
-	s.cutLat.count = make([]uint64, cfg.Shards)
-	s.cutLat.samples = make([][]int64, cfg.Shards)
 	if observable {
 		s.obsTM = obsTM
+	}
+	if cfg.Telemetry != nil && s.obsTM != nil {
+		s.met.tx = native.NewTxMetrics(cfg.Telemetry, info.Name)
 	}
 	s.workCond = sync.NewCond(&s.mu)
 	s.roomCond = sync.NewCond(&s.mu)
@@ -207,6 +199,7 @@ func openNativeSession(info native.Info, cfg SessionConfig) (*nativeSession, err
 		}
 		mcfg := monitor.Config{
 			SegmentTxns: segTxns, TailWindow: cfg.LiveTailWindow, Procs: procs, Approx: true,
+			CheckerMetrics: s.met.checker,
 		}
 		if cfg.Shards > 1 {
 			// Mirror the session's contiguous shard assignment so the
@@ -229,6 +222,7 @@ func openNativeSession(info native.Info, cfg SessionConfig) (*nativeSession, err
 			// Without Record the stream is the only consumer, so the
 			// per-process chunk rings recycle and allocation stays flat.
 			DropStreamed: !cfg.Record,
+			Metrics:      s.met.rec,
 		}
 		if cfg.Shards > 1 {
 			ropts.ShardOf = func(p model.Proc) int { return s.shardOfWorker(int(p) - 1) }
@@ -236,7 +230,10 @@ func openNativeSession(info native.Info, cfg SessionConfig) (*nativeSession, err
 		s.rec = record.NewWithOptions(cfg.MaxWorkers, ropts)
 		go s.runPump()
 	} else if cfg.Record {
-		s.rec = record.New(cfg.MaxWorkers, recorderHint)
+		s.rec = record.NewWithOptions(cfg.MaxWorkers, record.Options{
+			CapacityHint: recorderHint,
+			Metrics:      s.met.rec,
+		})
 	}
 	s.quiesce = cfg.QuiesceEvery
 	if cfg.Live && s.quiesce == 0 {
@@ -261,6 +258,7 @@ func (s *nativeSession) spawn(n int) {
 		go s.worker(p)
 	}
 	s.admitted.Store(int32(base + n))
+	s.met.workers.Set(int64(base + n))
 }
 
 func (s *nativeSession) submit(ctx context.Context, worker int, body Body, done func(error), demand bool) error {
@@ -291,12 +289,14 @@ func (s *nativeSession) submit(ctx context.Context, worker int, body Body, done 
 	if s.closed {
 		return ErrClosed
 	}
-	s.submitted.Add(1)
+	s.met.submitted.Inc()
 	j := &sessionJob{body: body, done: done}
 	if worker == AnyWorker {
 		s.sharedQ = append(s.sharedQ, j)
+		s.met.queueShared.Add(1)
 	} else {
 		s.pinnedQ[worker] = append(s.pinnedQ[worker], j)
+		s.met.queuePinned.Add(1)
 	}
 	// A pinned job must wake its specific worker, so broadcast rather
 	// than signal; spuriously woken workers go straight back to sleep.
@@ -317,9 +317,15 @@ func (s *nativeSession) laneLenLocked(worker int) int {
 // transaction, so AnyWorker submissions cannot starve behind pinned
 // traffic (and vice versa). Caller holds mu.
 func (s *nativeSession) takeLocked(p int, tick int) *sessionJob {
+	pinned := len(s.pinnedQ[p])
 	j, ok := takeAlternating(&s.pinnedQ[p], &s.sharedQ, tick)
 	if !ok {
 		return nil
+	}
+	if len(s.pinnedQ[p]) < pinned {
+		s.met.queuePinned.Add(-1)
+	} else {
+		s.met.queueShared.Add(-1)
 	}
 	return j
 }
@@ -352,12 +358,19 @@ func (s *nativeSession) worker(p int) {
 		s.roomCond.Broadcast()
 		s.mu.Unlock()
 
-		res := s.execute(p, j.body, obs, stop)
+		var res error
+		if h := s.met.execLat; h != nil {
+			start := time.Now()
+			res = s.execute(p, j.body, obs, stop)
+			h.Observe(time.Since(start).Nanoseconds())
+		} else {
+			res = s.execute(p, j.body, obs, stop)
+		}
 		switch {
 		case res == nil:
-			s.commits[p].Add(1)
+			s.met.commits[p].Inc()
 		case errors.Is(res, ErrNoCommit):
-			s.noCommits.Add(1)
+			s.met.noCommits.Inc()
 		case errors.Is(res, native.ErrStopped):
 			s.stopped.Store(true)
 			res = ErrStopped
@@ -377,7 +390,7 @@ func (s *nativeSession) worker(p int) {
 		if j.done != nil {
 			j.done(res)
 		}
-		s.completed.Add(1)
+		s.met.completed.Inc()
 		if s.drainers.Load() > 0 {
 			s.drainMu.Lock()
 			s.drainCond.Broadcast()
@@ -418,6 +431,7 @@ func (s *nativeSession) execute(p int, body Body, obs native.Observer, stop <-ch
 	if s.obsTM != nil {
 		return s.obsTM.AtomicallyOpts(native.RunOpts{
 			Observer: obs, Stop: stop, Backoff: s.bo, Proc: p,
+			Metrics: s.met.tx,
 		}, fn)
 	}
 	return s.tm.Atomically(fn)
@@ -508,34 +522,7 @@ func (s *nativeSession) forceCut(k int) {
 		// holding the lock exclusively for one instant is the cut.
 		s.cutMu[k].Unlock()
 	}
-	s.noteCut(k, time.Since(start).Nanoseconds())
-}
-
-// noteCut records one cut's pause latency into shard k's bounded
-// reservoir (overwriting the oldest sample once full).
-func (s *nativeSession) noteCut(k int, ns int64) {
-	c := &s.cutLat
-	c.Lock()
-	if buf := c.samples[k]; len(buf) < cutSampleCap {
-		c.samples[k] = append(buf, ns)
-	} else {
-		buf[c.count[k]%cutSampleCap] = ns
-	}
-	c.count[k]++
-	c.Unlock()
-}
-
-// cutSummary folds a latency reservoir into CutStats percentiles.
-func cutSummary(count uint64, samples []int64) CutStats {
-	st := CutStats{Count: count}
-	if len(samples) == 0 {
-		return st
-	}
-	sorted := append([]int64(nil), samples...)
-	slices.Sort(sorted)
-	st.P50ns = sorted[len(sorted)/2]
-	st.P99ns = sorted[(len(sorted)-1)*99/100]
-	return st
+	s.met.cutPause[k].Observe(time.Since(start).Nanoseconds())
 }
 
 func (s *nativeSession) drain(ctx context.Context) error {
@@ -549,7 +536,7 @@ func (s *nativeSession) drain(ctx context.Context) error {
 	defer stop()
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()
-	for s.completed.Load() != s.submitted.Load() {
+	for s.met.completed.Load() != s.met.submitted.Load() {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -563,16 +550,16 @@ func (s *nativeSession) stats() SessionStats {
 	per := make([]uint64, n)
 	var total uint64
 	for p := 0; p < n; p++ {
-		per[p] = s.commits[p].Load()
+		per[p] = s.met.commits[p].Load()
 		total += per[p]
 	}
 	st := SessionStats{
 		Workers:          n,
-		Submitted:        s.submitted.Load(),
-		Completed:        s.completed.Load(),
+		Submitted:        s.met.submitted.Load(),
+		Completed:        s.met.completed.Load(),
 		Commits:          total,
 		Aborts:           s.tm.Stats().Aborts,
-		NoCommits:        s.noCommits.Load(),
+		NoCommits:        s.met.noCommits.Load(),
 		PerWorkerCommits: per,
 		Stopped:          s.stopped.Load(),
 		BackoffCap:       s.bo.Cap(),
@@ -585,26 +572,13 @@ func (s *nativeSession) stats() SessionStats {
 		st.Truncated = s.rec.Truncated()
 	}
 	st.Shards = s.shards
-	c := &s.cutLat
-	c.Lock()
-	var (
-		totalCuts uint64
-		allSamp   []int64
-		perShard  []CutStats
-	)
+	st.CutLatency = histCutStats(telemetry.Aggregate(s.met.cutPause...))
 	if s.shards > 1 {
-		perShard = make([]CutStats, s.shards)
-	}
-	for k := 0; k < s.shards; k++ {
-		totalCuts += c.count[k]
-		allSamp = append(allSamp, c.samples[k]...)
-		if perShard != nil {
-			perShard[k] = cutSummary(c.count[k], c.samples[k])
+		st.ShardCuts = make([]CutStats, s.shards)
+		for k := range st.ShardCuts {
+			st.ShardCuts[k] = histCutStats(s.met.cutPause[k])
 		}
 	}
-	c.Unlock()
-	st.CutLatency = cutSummary(totalCuts, allSamp)
-	st.ShardCuts = perShard
 	return st
 }
 
@@ -626,6 +600,7 @@ func (s *nativeSession) addWorkers(n int) error {
 		return fmt.Errorf("engine: %d workers admitted + %d exceeds MaxWorkers %d", have, n, s.cfg.MaxWorkers)
 	}
 	s.spawn(n)
+	s.met.admissions.Add(uint64(n))
 	return nil
 }
 

@@ -57,11 +57,10 @@ type simSession struct {
 	closed      bool
 	fatal       error
 
-	submitted uint64
-	completed uint64
-	commits   []uint64
-	aborts    uint64
-	noCommits uint64
+	// met backs every SessionStats counter (bare instruments without a
+	// registry); commit-failure aborts count as cause=conflict, body-
+	// level aborts as cause=operation. Always non-nil.
+	met *sessionMetrics
 
 	driverDone chan struct{}
 	closeDone  chan struct{} // the winning close finished finalizing
@@ -71,17 +70,18 @@ type simSession struct {
 // openSimSession builds the TM, spawns the worker processes and starts
 // the driver. cfg has defaults applied and is validated for the
 // simulated substrate.
-func openSimSession(factory stm.Factory, cfg SessionConfig) (*simSession, error) {
+func openSimSession(name string, factory stm.Factory, cfg SessionConfig) (*simSession, error) {
 	s := &simSession{
 		cfg:        cfg,
 		sched:      sim.New(sim.NewSeeded(cfg.Seed)),
 		pinnedQ:    make([][]*simJob, cfg.Workers),
 		inflight:   make([]*simJob, cfg.Workers),
 		dead:       make([]bool, cfg.Workers),
-		commits:    make([]uint64, cfg.Workers),
+		met:        newSessionMetrics(cfg.Telemetry, name, cfg.Workers, 1, false),
 		driverDone: make(chan struct{}),
 		closeDone:  make(chan struct{}),
 	}
+	s.met.workers.Set(int64(cfg.Workers))
 	s.cond = sync.NewCond(&s.mu)
 	s.tm = factory(cfg.Workers, cfg.Vars)
 	if cfg.Record {
@@ -116,11 +116,13 @@ func (s *simSession) submit(_ context.Context, worker int, body Body, done func(
 	j := &simJob{body: body, done: done, demand: demand}
 	if worker == AnyWorker {
 		s.sharedQ = append(s.sharedQ, j)
+		s.met.queueShared.Add(1)
 	} else {
 		s.pinnedQ[worker] = append(s.pinnedQ[worker], j)
+		s.met.queuePinned.Add(1)
 	}
 	s.outstanding++
-	s.submitted++
+	s.met.submitted.Inc()
 	if demand {
 		s.demand++
 	}
@@ -132,9 +134,15 @@ func (s *simSession) submit(_ context.Context, worker int, body Body, done func(
 // successive takes like the native pool, so neither lane can starve
 // behind sustained traffic on the other. Caller holds mu.
 func (s *simSession) takeLocked(p, tick int) *simJob {
+	pinned := len(s.pinnedQ[p])
 	j, ok := takeAlternating(&s.pinnedQ[p], &s.sharedQ, tick)
 	if !ok {
 		return nil
+	}
+	if len(s.pinnedQ[p]) < pinned {
+		s.met.queuePinned.Add(-1)
+	} else {
+		s.met.queueShared.Add(-1)
 	}
 	return j
 }
@@ -194,9 +202,9 @@ func (s *simSession) runJob(p int, env *sim.Env, j *simJob) bool {
 				s.finish(p, j, nil)
 				return true
 			}
-			s.countAbort()
+			s.met.abortsConflict.Inc()
 		case err == nil || errors.Is(err, ErrAborted):
-			s.countAbort()
+			s.met.abortsOperation.Inc()
 		default:
 			// A terminal body error: the process behaves like a crash
 			// (it holds whatever it holds), exactly as the paper's
@@ -207,24 +215,14 @@ func (s *simSession) runJob(p int, env *sim.Env, j *simJob) bool {
 	}
 }
 
-func (s *simSession) countAbort() {
-	s.mu.Lock()
-	s.aborts++
-	s.mu.Unlock()
-}
-
 // finish completes one job. The callback runs before the job is
 // accounted complete, so a callback that submits follow-up work never
 // lets the session drain between rounds.
 func (s *simSession) finish(p int, j *simJob, res error) {
 	if res == nil {
-		s.mu.Lock()
-		s.commits[p]++
-		s.mu.Unlock()
+		s.met.commits[p].Inc()
 	} else if errors.Is(res, ErrNoCommit) {
-		s.mu.Lock()
-		s.noCommits++
-		s.mu.Unlock()
+		s.met.noCommits.Inc()
 	}
 	if j.done != nil {
 		j.done(res)
@@ -238,7 +236,7 @@ func (s *simSession) finish(p int, j *simJob, res error) {
 // completeLocked retires one accepted job. Caller holds mu.
 func (s *simSession) completeLocked(j *simJob) {
 	s.outstanding--
-	s.completed++
+	s.met.completed.Inc()
 	if j.demand {
 		s.demand--
 	}
@@ -326,6 +324,8 @@ func (s *simSession) drive() {
 		}
 		orphans = append(orphans, s.sharedQ...)
 		s.sharedQ = nil
+		s.met.queuePinned.Set(0)
+		s.met.queueShared.Set(0)
 		for p, j := range s.inflight {
 			if j != nil {
 				orphans = append(orphans, j)
@@ -370,18 +370,19 @@ func (s *simSession) drain(ctx context.Context) error {
 func (s *simSession) stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	per := append([]uint64(nil), s.commits...)
+	per := make([]uint64, s.cfg.Workers)
 	var total uint64
-	for _, c := range per {
-		total += c
+	for p := range per {
+		per[p] = s.met.commits[p].Load()
+		total += per[p]
 	}
 	return SessionStats{
 		Workers:          s.cfg.Workers,
-		Submitted:        s.submitted,
-		Completed:        s.completed,
+		Submitted:        s.met.submitted.Load(),
+		Completed:        s.met.completed.Load(),
 		Commits:          total,
-		Aborts:           s.aborts,
-		NoCommits:        s.noCommits,
+		Aborts:           s.met.abortsConflict.Load() + s.met.abortsOperation.Load(),
+		NoCommits:        s.met.noCommits.Load(),
 		PerWorkerCommits: per,
 		Steps:            s.steps,
 	}

@@ -91,7 +91,7 @@ func (e *Sim) Open(cfg SessionConfig) (*Session, error) {
 	if err := cfg.validate(Simulated); err != nil {
 		return nil, err
 	}
-	b, err := openSimSession(e.factory, cfg)
+	b, err := openSimSession(e.Name(), e.factory, cfg)
 	if err != nil {
 		return nil, err
 	}

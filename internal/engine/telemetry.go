@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"strconv"
+
+	"livetm/internal/native"
+	"livetm/internal/record"
+	"livetm/internal/safety"
+	"livetm/internal/telemetry"
+)
+
+// sessionMetrics is a session's pre-resolved telemetry handle bundle.
+// The Stats-backing handles (submitted, completed, commits, noCommits,
+// aborts*, cutPause, queue gauges) are always non-nil: with no registry
+// they are bare (unregistered) instruments, which cost exactly what the
+// ad-hoc atomics they replaced cost, so the hot paths carry no nil
+// checks and SessionStats has one source of truth either way. The
+// clock-involving extras (execLat, tx) and the live-monitor gauges are
+// nil without a registry: they are pure observability, and skipping
+// them is what makes a registry-free session the uninstrumented
+// baseline the overhead benchmark compares against.
+type sessionMetrics struct {
+	submitted *telemetry.Counter
+	completed *telemetry.Counter
+	noCommits *telemetry.Counter
+	commits   []*telemetry.Counter // per worker slot
+
+	// abortsConflict/abortsOperation back the simulated substrate's
+	// abort accounting (the native substrate reads its TM's own
+	// counters); they land in the same livetm_tx_aborts_total family
+	// the native retry loop uses.
+	abortsConflict  *telemetry.Counter
+	abortsOperation *telemetry.Counter
+
+	queueShared *telemetry.Gauge
+	queuePinned *telemetry.Gauge
+	workers     *telemetry.Gauge
+	admissions  *telemetry.Counter
+
+	// cutPause is the per-shard quiescent-cut pause-latency histogram;
+	// it is the single sampling path behind SessionStats.CutLatency and
+	// ShardCuts (no separate reservoir).
+	cutPause []*telemetry.Histogram
+
+	// execLat times whole submissions (queue exit to completion).
+	// Nil without a registry: skip the clock reads.
+	execLat *telemetry.Histogram
+
+	// tx instruments the native retry loop. Nil without a registry
+	// (native.RunOpts.Metrics is nil-gated there).
+	tx *native.TxMetrics
+
+	// rec and checker are handed to the recorder and the live checker
+	// at open time; nil leaves those layers on their bare defaults.
+	rec     *record.Metrics
+	checker *safety.CheckerMetrics
+
+	// Live-monitor gauges, synced from the pump's rebias tick. Nil
+	// without a registry.
+	class      *telemetry.Gauge
+	starvation []*telemetry.Gauge // per worker slot
+	bias       []*telemetry.Gauge // per worker slot
+}
+
+// newSessionMetrics resolves (or, with reg nil, fabricates bare
+// versions of) the session's instruments. algo is the engine name
+// labelling the transaction families; workers is the provisioned slot
+// count (MaxWorkers on the native substrate), shards the cut-group
+// count, live whether the monitor gauges and checker telemetry apply.
+func newSessionMetrics(reg *telemetry.Registry, algo string, workers, shards int, live bool) *sessionMetrics {
+	m := &sessionMetrics{
+		commits:  make([]*telemetry.Counter, workers),
+		cutPause: make([]*telemetry.Histogram, shards),
+	}
+	if reg == nil {
+		m.submitted = &telemetry.Counter{}
+		m.completed = &telemetry.Counter{}
+		m.noCommits = &telemetry.Counter{}
+		m.abortsConflict = &telemetry.Counter{}
+		m.abortsOperation = &telemetry.Counter{}
+		m.queueShared = &telemetry.Gauge{}
+		m.queuePinned = &telemetry.Gauge{}
+		m.workers = &telemetry.Gauge{}
+		m.admissions = &telemetry.Counter{}
+		for i := range m.commits {
+			m.commits[i] = &telemetry.Counter{}
+		}
+		for k := range m.cutPause {
+			m.cutPause[k] = &telemetry.Histogram{}
+		}
+		return m
+	}
+	m.submitted = reg.Counter("livetm_session_submitted_total",
+		"Transactions accepted by the session")
+	m.completed = reg.Counter("livetm_session_completed_total",
+		"Transactions completed (committed, declined, or failed)")
+	m.noCommits = reg.Counter("livetm_session_nocommits_total",
+		"Transactions declined without a commit attempt (ErrNoCommit)")
+	m.abortsConflict = reg.Counter("livetm_tx_aborts_total",
+		"Aborted attempts by cause", "algo", algo, "cause", "conflict")
+	m.abortsOperation = reg.Counter("livetm_tx_aborts_total",
+		"Aborted attempts by cause", "algo", algo, "cause", "operation")
+	m.queueShared = reg.Gauge("livetm_session_queue_depth",
+		"Pending submissions per lane", "lane", "shared")
+	m.queuePinned = reg.Gauge("livetm_session_queue_depth",
+		"Pending submissions per lane", "lane", "pinned")
+	m.workers = reg.Gauge("livetm_session_workers",
+		"Admitted workers")
+	m.admissions = reg.Counter("livetm_session_admissions_total",
+		"Workers admitted after open (AddWorkers)")
+	m.execLat = reg.Histogram("livetm_session_exec_latency_ns",
+		"Submission latency from queue exit to completion, nanoseconds")
+	for i := range m.commits {
+		m.commits[i] = reg.Counter("livetm_session_commits_total",
+			"Committed transactions per worker", "worker", strconv.Itoa(i))
+	}
+	for k := range m.cutPause {
+		m.cutPause[k] = reg.Histogram("livetm_cut_pause_ns",
+			"Quiescent-cut pause latency per shard, nanoseconds", "shard", strconv.Itoa(k))
+	}
+	m.rec = &record.Metrics{
+		Events: reg.Counter("livetm_recorder_events_total",
+			"Events stamped into the per-process logs"),
+		Chunks: reg.Gauge("livetm_recorder_chunks",
+			"Event-buffer chunks currently allocated"),
+		Recycled: reg.Counter("livetm_recorder_recycled_total",
+			"Drop-mode ring-chunk reuses"),
+		Dropped: reg.Counter("livetm_recorder_dropped_total",
+			"Events the live stream lost after a stop muted a publisher"),
+	}
+	if live {
+		m.checker = &safety.CheckerMetrics{
+			Lanes: make([]safety.LaneTelemetry, shards),
+			Merge: checkerLane(reg, "merge"),
+		}
+		for k := range m.checker.Lanes {
+			m.checker.Lanes[k] = checkerLane(reg, strconv.Itoa(k))
+		}
+		m.class = reg.Gauge("livetm_monitor_liveness_class",
+			"Current liveness class of the run, strongest-first ordinal (0 none, 1 solo, 2 global, 3 2-progress, 4 local)")
+		m.starvation = make([]*telemetry.Gauge, workers)
+		m.bias = make([]*telemetry.Gauge, workers)
+		for i := range m.starvation {
+			proc := strconv.Itoa(i)
+			m.starvation[i] = reg.Gauge("livetm_monitor_starvation",
+				"Current commit gap per process, in observed events", "proc", proc)
+			m.bias[i] = reg.Gauge("livetm_backoff_bias",
+				"Starvation-feedback backoff bias per process", "proc", proc)
+		}
+	}
+	return m
+}
+
+func checkerLane(reg *telemetry.Registry, shard string) safety.LaneTelemetry {
+	return safety.LaneTelemetry{
+		Segments: reg.Counter("livetm_checker_segments_total",
+			"Segments the streaming checker verified per lane", "shard", shard),
+		Forced: reg.Counter("livetm_checker_forced_total",
+			"Forced serialization frontiers per lane", "shard", shard),
+		Relaxed: reg.Counter("livetm_checker_relaxed_total",
+			"Straddler reads waived per lane", "shard", shard),
+		Buffered: reg.Gauge("livetm_checker_lane_lag",
+			"Buffered events per lane (lag behind the producers)", "shard", shard),
+	}
+}
+
+// syncLive pushes the live monitor's current view into the gauges.
+// Runs on the pump goroutine (the monitor's owner) at each rebias
+// tick, so the monitor reads are race-free.
+func (m *sessionMetrics) syncLive(class string, starvation []int, bias []int) {
+	if m.class == nil {
+		return
+	}
+	m.class.Set(livenessOrdinal(class))
+	for i, s := range starvation {
+		if i < len(m.starvation) {
+			m.starvation[i].Set(int64(s))
+		}
+	}
+	for i, b := range bias {
+		if i < len(m.bias) {
+			m.bias[i].Set(int64(b))
+		}
+	}
+}
+
+// livenessOrdinal maps a liveness-class name onto a strongest-first
+// ordinal, so the gauge moves up as the observed run strengthens.
+func livenessOrdinal(class string) int64 {
+	switch class {
+	case "local progress":
+		return 4
+	case "2-progress":
+		return 3
+	case "global progress":
+		return 2
+	case "solo progress":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// histCutStats folds one cut-pause histogram into the CutStats shape.
+func histCutStats(h *telemetry.Histogram) CutStats {
+	n := h.Count()
+	if n == 0 {
+		return CutStats{}
+	}
+	return CutStats{Count: n, P50ns: h.Quantile(0.5), P99ns: h.Quantile(0.99)}
+}

@@ -65,6 +65,12 @@ type Config struct {
 	// transactions that complete without an operation. Nil means
 	// shard 0.
 	ProcShard func(model.Proc) int
+	// CheckerMetrics, when non-nil, wires live telemetry through the
+	// streaming checker: per-lane segment/forced/relaxed counters and
+	// backlog gauges that a scraper can read mid-run without touching
+	// checker-owned state. A single-checker monitor uses Lanes[0]. Nil
+	// leaves the checker on bare instruments (no registry, same cost).
+	CheckerMetrics *safety.CheckerMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +155,7 @@ func New(cfg Config) (*Monitor, error) {
 			VarShard:    cfg.VarShard,
 			ProcShard:   cfg.ProcShard,
 			Approx:      cfg.Approx,
+			Metrics:     cfg.CheckerMetrics,
 		})
 		if err != nil {
 			return nil, err
@@ -161,6 +168,9 @@ func New(cfg Config) (*Monitor, error) {
 		}
 		if cfg.Approx {
 			sc.WithApproxFallback()
+		}
+		if cm := cfg.CheckerMetrics; cm != nil && len(cm.Lanes) > 0 {
+			sc.WithTelemetry(cm.Lanes[0])
 		}
 		checker = sc
 	}
@@ -266,6 +276,30 @@ func (m *Monitor) StarvationNow(procs int) []int {
 		}
 	}
 	return out
+}
+
+// LivenessClassNow classifies the run so far against the liveness
+// lattice on the current lasso reading (the tail window repeated
+// forever) and returns the strongest property that holds: "local
+// progress", "2-progress", "global progress", "solo progress", or
+// "none". Unlike Report it is non-terminal — it does not finish the
+// streaming checker — so a live run can expose its current liveness
+// class while still being observed. Call it from the goroutine that
+// feeds Observe; the lasso reads the same window state.
+func (m *Monitor) LivenessClassNow() string {
+	l := m.lasso()
+	if l == nil {
+		return "none"
+	}
+	for _, prop := range []liveness.Property{
+		liveness.LocalProgress, liveness.KProgress(2),
+		liveness.GlobalProgress, liveness.SoloProgress,
+	} {
+		if prop.Contains(l) {
+			return prop.Name
+		}
+	}
+	return "none"
 }
 
 // tail returns the window contents in arrival order.

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // ErrAborted is returned by transaction operations when the current
@@ -145,6 +146,10 @@ type RunOpts struct {
 	// Proc is the zero-based process index selecting the caller's bias
 	// in the Backoff policy.
 	Proc int
+	// Metrics, when non-nil, receives the retry-loop telemetry
+	// (starts, commits, aborts by cause, retry latency, backoff
+	// waits). All bundle fields must be set; see NewTxMetrics.
+	Metrics *TxMetrics
 }
 
 // runAtomically is the retry/backoff loop shared by every algorithm:
@@ -154,14 +159,25 @@ type RunOpts struct {
 // hooks behind ObservableTM.
 func runAtomically(c *counters, begin func() attempt, opts RunOpts, fn func(Txn) error) error {
 	obs := opts.Observer
+	m := opts.Metrics
 	bo := opts.Backoff
 	if bo == nil {
 		bo = defaultBackoff
 	}
+	if m != nil {
+		m.Starts.Inc()
+	}
+	// retryStart stamps the first abort so a retried transaction's
+	// eventual commit can report its retry latency. First-try commits
+	// never read the clock.
+	var retryStart time.Time
 	for round := 0; ; round++ {
 		if opts.Stop != nil {
 			select {
 			case <-opts.Stop:
+				if m != nil {
+					m.AbortStopped.Inc()
+				}
 				return ErrStopped
 			default:
 			}
@@ -178,6 +194,12 @@ func runAtomically(c *counters, begin func() attempt, opts RunOpts, fn func(Txn)
 			}
 			if committed {
 				c.commits.Add(1)
+				if m != nil {
+					m.Commits.Inc()
+					if round > 0 {
+						m.RetryLatency.Observe(time.Since(retryStart).Nanoseconds())
+					}
+				}
 				recycle(tx)
 				return nil
 			}
@@ -186,10 +208,16 @@ func runAtomically(c *counters, begin func() attempt, opts RunOpts, fn func(Txn)
 			// resource release off each algorithm's commit path as an
 			// undocumented obligation.
 			tx.abandon()
+			if m != nil {
+				m.AbortConflict.Inc()
+			}
 		} else if !errors.Is(err, ErrAborted) {
 			tx.abandon()
 			if obs != nil {
 				obs.Abandon()
+			}
+			if m != nil {
+				m.AbortAbandoned.Inc()
 			}
 			recycle(tx)
 			return err
@@ -203,10 +231,23 @@ func runAtomically(c *counters, begin func() attempt, opts RunOpts, fn func(Txn)
 			if obs != nil {
 				obs.Abandon()
 			}
+			if m != nil {
+				m.AbortOperation.Inc()
+			}
 		}
 		recycle(tx)
 		c.aborts.Add(1)
-		bo.wait(opts.Proc, round)
+		if m != nil {
+			m.Retries.Inc()
+			if round == 0 {
+				retryStart = time.Now()
+			}
+			waitStart := time.Now()
+			bo.wait(opts.Proc, round)
+			m.BackoffWait.Observe(time.Since(waitStart).Nanoseconds())
+		} else {
+			bo.wait(opts.Proc, round)
+		}
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"livetm/internal/model"
+	"livetm/internal/telemetry"
 )
 
 // MaxEventsPerProc is the hard cap on one process's buffer. A process
@@ -101,6 +102,34 @@ type Options struct {
 	// producing process's home shard (see Streamed.Shard). Nil leaves
 	// the tag 0.
 	ShardOf func(p model.Proc) int
+	// Metrics, when non-nil, receives the recorder's telemetry. All
+	// fields must be set; a nil Metrics records into bare (unregistered)
+	// instruments at identical cost, so the hot path has no nil checks.
+	Metrics *Metrics
+}
+
+// Metrics is the recorder's pre-resolved telemetry handle bundle.
+type Metrics struct {
+	// Events counts events stamped into the per-process logs.
+	Events *telemetry.Counter
+	// Chunks tracks buffer chunks currently allocated (mirrors Chunks).
+	Chunks *telemetry.Gauge
+	// Recycled counts drop-mode ring-chunk reuses.
+	Recycled *telemetry.Counter
+	// Dropped counts events the live stream lost after Stop fired and
+	// muted a blocked publisher.
+	Dropped *telemetry.Counter
+}
+
+// bareMetrics is the no-registry default: valid zero-value instruments
+// nobody reads.
+func bareMetrics() *Metrics {
+	return &Metrics{
+		Events:   &telemetry.Counter{},
+		Chunks:   &telemetry.Gauge{},
+		Recycled: &telemetry.Counter{},
+		Dropped:  &telemetry.Counter{},
+	}
 }
 
 // Recorder owns the shared sequence counter and the per-process logs
@@ -115,6 +144,7 @@ type Recorder struct {
 	// Stats) while the logs are still appending.
 	chunks    atomic.Int64
 	truncated atomic.Bool
+	met       *Metrics
 }
 
 // New creates a recorder for procs processes (model.Proc identifiers 1
@@ -133,7 +163,10 @@ func NewWithOptions(procs int, o Options) *Recorder {
 	if hint > chunkEvents {
 		hint = chunkEvents
 	}
-	r := &Recorder{logs: make([]*ProcLog, procs), stop: o.Stop}
+	r := &Recorder{logs: make([]*ProcLog, procs), stop: o.Stop, met: o.Metrics}
+	if r.met == nil {
+		r.met = bareMetrics()
+	}
 	if o.StreamCapacity > 0 {
 		batches := o.StreamCapacity / streamBatch
 		if batches < 1 {
@@ -264,6 +297,7 @@ type ProcLog struct {
 
 func (l *ProcLog) newChunk(capacity int) []stamped {
 	l.rec.chunks.Add(1)
+	l.rec.met.Chunks.Add(1)
 	return make([]stamped, 0, capacity)
 }
 
@@ -297,6 +331,7 @@ func (l *ProcLog) append(e model.Event) {
 	if len(l.cur) == cap(l.cur) {
 		if l.drop {
 			l.cur = l.cur[:0] // the streamed copy is the record; reuse
+			l.rec.met.Recycled.Inc()
 		} else {
 			l.done = append(l.done, l.cur)
 			l.cur = l.newChunk(chunkEvents)
@@ -305,6 +340,7 @@ func (l *ProcLog) append(e model.Event) {
 	s := stamped{seq: l.rec.seq.Add(1), ev: e}
 	l.cur = append(l.cur, s)
 	l.count++
+	l.rec.met.Events.Inc()
 	l.publish(s)
 }
 
@@ -313,7 +349,11 @@ func (l *ProcLog) append(e model.Event) {
 // monitor always sees whole transactions promptly while the channel
 // pays one send per batch, not per event.
 func (l *ProcLog) publish(s stamped) {
-	if l.rec.stream == nil || l.mute {
+	if l.rec.stream == nil {
+		return
+	}
+	if l.mute {
+		l.rec.met.Dropped.Inc()
 		return
 	}
 	if l.batch == nil {
@@ -343,6 +383,7 @@ func (l *ProcLog) flushStream() {
 	case r.stream <- out:
 	case <-r.stop:
 		l.mute = true
+		r.met.Dropped.Add(uint64(len(out)))
 	}
 }
 

@@ -1,0 +1,62 @@
+package safety
+
+import "livetm/internal/telemetry"
+
+// LaneTelemetry is the push-style telemetry handle bundle of one
+// checker lane. The lane counters (segments, forced frontiers, waived
+// straddler reads) are plain ints owned by the lane's worker
+// goroutine, so a scraper must never read them mid-run; instead the
+// lane pushes every increment into these atomic instruments, which a
+// snapshot can read at any moment without racing the worker. Buffered
+// tracks the lane's current backlog in events — its lag behind the
+// producers. Unset fields are replaced by bare (unregistered)
+// instruments, so checker code carries no nil checks.
+type LaneTelemetry struct {
+	// Segments counts segments the lane has checked.
+	Segments *telemetry.Counter
+	// Forced counts forced serialization frontiers the lane took.
+	Forced *telemetry.Counter
+	// Relaxed counts straddler reads the lane waived.
+	Relaxed *telemetry.Counter
+	// Buffered is the lane's current buffered-event backlog.
+	Buffered *telemetry.Gauge
+}
+
+func (t LaneTelemetry) orBare() LaneTelemetry {
+	if t.Segments == nil {
+		t.Segments = &telemetry.Counter{}
+	}
+	if t.Forced == nil {
+		t.Forced = &telemetry.Counter{}
+	}
+	if t.Relaxed == nil {
+		t.Relaxed = &telemetry.Counter{}
+	}
+	if t.Buffered == nil {
+		t.Buffered = &telemetry.Gauge{}
+	}
+	return t
+}
+
+// CheckerMetrics bundles the lane telemetry of a sharded checker:
+// one LaneTelemetry per shard plus one for the cross-shard merge pass
+// (whose Buffered gauge is unused — merges run on borrowed lane
+// buffers). A single StreamChecker uses Lanes[0].
+type CheckerMetrics struct {
+	Lanes []LaneTelemetry
+	Merge LaneTelemetry
+}
+
+func (m *CheckerMetrics) lane(i int) LaneTelemetry {
+	if m != nil && i < len(m.Lanes) {
+		return m.Lanes[i].orBare()
+	}
+	return LaneTelemetry{}.orBare()
+}
+
+func (m *CheckerMetrics) merge() LaneTelemetry {
+	if m != nil {
+		return m.Merge.orBare()
+	}
+	return LaneTelemetry{}.orBare()
+}

@@ -67,6 +67,7 @@ type ShardedChecker struct {
 	mergeForced   int
 	mergeRelaxed  int
 	mergeApprox   bool
+	mtel          LaneTelemetry
 
 	mu         sync.Mutex
 	failErr    error
@@ -92,6 +93,11 @@ type ShardConfig struct {
 	ProcShard func(model.Proc) int
 	// Approx enables the forced-frontier fallback on cut-starved lanes.
 	Approx bool
+	// Metrics, when non-nil, routes each lane's counters and backlog
+	// (plus the cross-shard merge pass's) into pre-resolved telemetry
+	// instruments, which a concurrent scraper can read without racing
+	// the lane workers. Nil wires bare instruments.
+	Metrics *CheckerMetrics
 }
 
 // taggedEvent is a buffered event stamped with its global stream
@@ -131,6 +137,7 @@ type checkLane struct {
 	forced    int
 	relaxed   int
 
+	tel  LaneTelemetry
 	jobs chan func()
 }
 
@@ -155,6 +162,7 @@ func NewShardedChecker(cfg ShardConfig) (*ShardedChecker, error) {
 		cfg:  cfg,
 		open: make(map[model.Proc]*openTxnState),
 		next: 1, // index 0 is reserved as "never" for cutIdx
+		mtel: cfg.Metrics.merge(),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		l := &checkLane{
@@ -162,6 +170,7 @@ func NewShardedChecker(cfg ShardConfig) (*ShardedChecker, error) {
 			bit:    uint64(1) << uint(i),
 			group:  uint64(1) << uint(i),
 			states: []model.Snapshot{make(model.Snapshot)},
+			tel:    cfg.Metrics.lane(i),
 			jobs:   make(chan func(), 4),
 		}
 		c.lanes = append(c.lanes, l)
@@ -213,6 +222,10 @@ func (c *ShardedChecker) PerShardSegments() []int {
 	}
 	return out
 }
+
+// pushBuf publishes the lane's current backlog. Called wherever buf
+// changes — always on the Feed goroutine, which owns buf.
+func (l *checkLane) pushBuf() { l.tel.Buffered.Set(int64(len(l.buf))) }
 
 func (c *ShardedChecker) laneOfVar(v model.TVar) int {
 	if c.cfg.VarShard == nil {
@@ -335,6 +348,7 @@ func (c *ShardedChecker) Feed(e model.Event) error {
 			for _, l := range c.lanes {
 				if st.touched&l.bit != 0 {
 					l.buf = append(l.buf, taggedEvent{idx, e})
+					l.pushBuf()
 				}
 			}
 			st.lastLane = -1
@@ -345,6 +359,7 @@ func (c *ShardedChecker) Feed(e model.Event) error {
 		st.lastLane = laneID
 		lane := c.lanes[laneID]
 		lane.buf = append(lane.buf, taggedEvent{idx, e})
+		lane.pushBuf()
 		return nil
 
 	case e.Kind == model.RespCommit || e.Kind == model.RespAbort:
@@ -355,6 +370,7 @@ func (c *ShardedChecker) Feed(e model.Event) error {
 			lane := c.lanes[c.homeLane(p)]
 			lane.buf = append(lane.buf, taggedEvent{idx, e})
 			lane.txnsInBuf++
+			lane.pushBuf()
 			return c.afterComplete(lane.bit, idx)
 		}
 		if st.touched == 0 {
@@ -366,6 +382,7 @@ func (c *ShardedChecker) Feed(e model.Event) error {
 				l.buf = append(l.buf, taggedEvent{idx, e})
 				l.open--
 				l.txnsInBuf++
+				l.pushBuf()
 			}
 		}
 		if st.waive {
@@ -390,6 +407,7 @@ func (c *ShardedChecker) Feed(e model.Event) error {
 			laneID = c.homeLane(p)
 		}
 		c.lanes[laneID].buf = append(c.lanes[laneID].buf, taggedEvent{idx, e})
+		c.lanes[laneID].pushBuf()
 		return nil
 	}
 }
@@ -449,6 +467,7 @@ func (c *ShardedChecker) flushLocal(l *checkLane, idx uint64) {
 	l.txnsInBuf = 0
 	l.cutIdx = idx
 	l.waived = nil
+	l.pushBuf()
 	l.jobs <- func() { c.runSegment(l, seg, false, nil) }
 }
 
@@ -472,6 +491,7 @@ func (c *ShardedChecker) forceLocal(l *checkLane, idx uint64) {
 	l.txnsInBuf = 0
 	l.cutIdx = idx
 	l.waived = nil
+	l.pushBuf()
 	l.jobs <- func() { c.runSegment(l, seg, true, newStraddlers) }
 }
 
@@ -489,11 +509,13 @@ func (c *ShardedChecker) runSegment(l *checkLane, seg []taggedEvent, forced bool
 	if len(txns) == 0 {
 		if forced {
 			l.forced++
+			l.tel.Forced.Inc()
 			l.straddler = newStraddlers
 		}
 		return
 	}
 	l.segments++
+	l.tel.Segments.Inc()
 	mask := laneWaiveMask(l, txns)
 	finals, err := feasibleFinalsRelaxed(txns, l.states, mask)
 	if err != nil {
@@ -512,6 +534,7 @@ func (c *ShardedChecker) runSegment(l *checkLane, seg []taggedEvent, forced bool
 	l.states = finals
 	if forced {
 		l.forced++
+		l.tel.Forced.Inc()
 		l.straddler = newStraddlers
 	} else {
 		l.straddler = nil
@@ -535,7 +558,10 @@ func laneWaiveMask(l *checkLane, txns []*model.Transaction) uint64 {
 			}
 		}
 	}
-	l.relaxed += bits.OnesCount64(mask)
+	if n := bits.OnesCount64(mask); n > 0 {
+		l.relaxed += n
+		l.tel.Relaxed.Add(uint64(n))
+	}
 	return mask
 }
 
@@ -639,7 +665,9 @@ func (c *ShardedChecker) flushGroup(mask uint64, idx uint64, forced bool) error 
 		}
 	}
 	if waive != 0 {
-		c.mergeRelaxed += bits.OnesCount64(waive)
+		n := bits.OnesCount64(waive)
+		c.mergeRelaxed += n
+		c.mtel.Relaxed.Add(uint64(n))
 		c.mergeApprox = true
 	}
 
@@ -661,9 +689,11 @@ func (c *ShardedChecker) flushGroup(mask uint64, idx uint64, forced bool) error 
 	}
 	if len(txns) > 0 {
 		c.mergeSegments++
+		c.mtel.Segments.Inc()
 	}
 	if forced {
 		c.mergeForced++
+		c.mtel.Forced.Inc()
 		c.mergeApprox = true
 	}
 
@@ -706,6 +736,7 @@ func (c *ShardedChecker) flushGroup(mask uint64, idx uint64, forced bool) error 
 		l.group = l.bit
 		l.cutIdx = idx
 		l.waived = nil
+		l.pushBuf()
 	}
 	return nil
 }
@@ -744,6 +775,7 @@ func (c *ShardedChecker) mergedFinals(txns []*model.Transaction, states []model.
 		states = next
 		if end < len(txns) {
 			c.mergeForced++
+			c.mtel.Forced.Inc()
 			c.mergeApprox = true
 		}
 	}

@@ -73,6 +73,8 @@ type StreamChecker struct {
 	done   bool // violation or Finish reached
 	holds  bool
 	reason string
+
+	tel LaneTelemetry // push-style telemetry (bare by default)
 }
 
 // ErrStreamNotOpaque wraps the verdict a StreamChecker returns from
@@ -93,7 +95,17 @@ func NewStreamChecker(maxTxnsPerSegment int) (*StreamChecker, error) {
 		states:    []model.Snapshot{make(model.Snapshot)},
 		openTxn:   make(map[model.Proc]bool),
 		straddler: make(map[model.Proc]bool),
+		tel:       LaneTelemetry{}.orBare(),
 	}, nil
+}
+
+// WithTelemetry routes the checker's counters (segments, forced
+// frontiers, waived reads) and its buffered-event backlog into the
+// given instruments, so a concurrent scraper can watch the lane
+// without racing the checking goroutine. Returns c.
+func (c *StreamChecker) WithTelemetry(t LaneTelemetry) *StreamChecker {
+	c.tel = t.orBare()
+	return c
 }
 
 // WithApproxFallback enables the bounded-overlap sliding-window
@@ -132,6 +144,7 @@ func (c *StreamChecker) Feed(e model.Event) error {
 		return fmt.Errorf("safety: Feed after Finish")
 	}
 	c.buf = append(c.buf, e)
+	c.tel.Buffered.Set(int64(len(c.buf)))
 	p := e.Proc
 	switch {
 	case e.Kind.IsInvocation():
@@ -193,11 +206,13 @@ func (c *StreamChecker) forceFlush() error {
 		}
 	}
 	c.forced++
+	c.tel.Forced.Inc()
 	txns, err = model.Transactions(seg)
 	if err != nil {
 		return fmt.Errorf("streaming opacity: %w", err)
 	}
 	c.segments++
+	c.tel.Segments.Inc()
 	// The frontier propagates the final snapshots of serializing the
 	// flushed window — not the visited intermediates — so post-frontier
 	// transactions are re-checked against exactly the states a real cut
@@ -225,6 +240,7 @@ func (c *StreamChecker) forceFlush() error {
 	}
 	c.buf = kept
 	c.txnsInBuf = 0
+	c.tel.Buffered.Set(int64(len(c.buf)))
 	return nil
 }
 
@@ -245,7 +261,10 @@ func (c *StreamChecker) waiveMask(txns []*model.Transaction) uint64 {
 			}
 		}
 	}
-	c.relaxed += bits.OnesCount64(mask)
+	if n := bits.OnesCount64(mask); n > 0 {
+		c.relaxed += n
+		c.tel.Relaxed.Add(uint64(n))
+	}
 	return mask
 }
 
@@ -264,6 +283,7 @@ func (c *StreamChecker) flush() error {
 	c.states = next
 	c.buf = c.buf[:0]
 	c.txnsInBuf = 0
+	c.tel.Buffered.Set(0)
 	if len(c.straddler) > 0 {
 		c.straddler = make(map[model.Proc]bool)
 	}
@@ -283,6 +303,7 @@ func (c *StreamChecker) checkSegment(seg model.History) ([]model.Snapshot, strin
 		return c.states, "", nil
 	}
 	c.segments++
+	c.tel.Segments.Inc()
 	next, err := feasibleFinalsRelaxed(txns, c.states, c.waiveMask(txns))
 	if err != nil {
 		return nil, "", err

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecord is one line of a flight-recorder file: a wall-clock
+// stamp, milliseconds since the recorder started, and the snapshot.
+type FlightRecord struct {
+	Wall      time.Time `json:"wall"`
+	ElapsedMS int64     `json:"elapsed_ms"`
+	Snapshot  Snapshot  `json:"snapshot"`
+}
+
+// FlightRecorder periodically flushes registry snapshots as JSON
+// lines, one FlightRecord per line, for offline trajectory analysis
+// (how abort rates, lane lag, and starvation evolve over a run — the
+// time-domain signals a final report collapses).
+type FlightRecorder struct {
+	reg      *Registry
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+
+	mu   sync.Mutex
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewFlightRecorder records snapshots of reg to w every interval
+// (minimum 10ms). Call Start to begin and Stop to flush the final
+// record and halt. The recorder does not close w.
+func NewFlightRecorder(reg *Registry, w io.Writer, interval time.Duration) *FlightRecorder {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &FlightRecorder{reg: reg, w: w, interval: interval}
+}
+
+// Start launches the background flush loop. It is a no-op if already
+// started.
+func (f *FlightRecorder) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done != nil {
+		return
+	}
+	done := make(chan struct{})
+	f.done = done
+	f.start = time.Now()
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTicker(f.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				f.flush()
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop, writes one final record, and waits for the
+// background goroutine to exit. It is a no-op if not started.
+func (f *FlightRecorder) Stop() {
+	f.mu.Lock()
+	if f.done == nil {
+		f.mu.Unlock()
+		return
+	}
+	done := f.done
+	f.done = nil
+	f.mu.Unlock()
+	close(done)
+	f.wg.Wait()
+	f.flush()
+}
+
+func (f *FlightRecorder) flush() {
+	rec := FlightRecord{
+		Wall:      time.Now(),
+		ElapsedMS: time.Since(f.start).Milliseconds(),
+		Snapshot:  f.reg.Snapshot(),
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = f.w.Write(b)
+}

@@ -11,6 +11,7 @@ import (
 	"livetm/internal/model"
 	"livetm/internal/monitor"
 	"livetm/internal/safety"
+	"livetm/internal/telemetry"
 )
 
 // The workload matrix is declared once — process count × read/write
@@ -190,6 +191,12 @@ type Result struct {
 	// (recorded elapsed / unrecorded elapsed for the same budget),
 	// measured when Options.Overhead is set; 0 otherwise.
 	RecorderOverhead float64 `json:"recorder_overhead,omitempty"`
+	// TelemetryOverhead is the cell's instrumented-vs-bare slowdown
+	// ratio: the plain (unrecorded, unmonitored) cell rerun with a
+	// telemetry registry attached, over the bare baseline. Measured
+	// alongside RecorderOverhead when Options.Overhead is set; the
+	// enforced budget is telemetry.OverheadBudgetRatio.
+	TelemetryOverhead float64 `json:"telemetry_overhead,omitempty"`
 	// BackoffCap is the native retry loop's spin-shift ceiling for the
 	// cell — the dynamic range starvation-aware backoff operated in.
 	BackoffCap int `json:"backoff_cap,omitempty"`
@@ -410,8 +417,21 @@ func runCell(e engine.Engine, caps engine.Capabilities, spec Spec, cfg engine.Ru
 		// run's overlapped monitoring is inherently inside it, a
 		// post-hoc check deliberately is not (that cost lands in
 		// the checked-throughput OpsPerSec instead).
-		if base := time.Since(t0).Seconds(); base > 0 {
+		base := time.Since(t0).Seconds()
+		if base > 0 {
 			r.RecorderOverhead = runElapsed / base
+		}
+		// Telemetry overhead rides on the same bare baseline: the
+		// plain cell rerun with a registry attached, so the artifact
+		// tracks the instrumentation cost per cell over PRs.
+		inst := plain
+		inst.Telemetry = telemetry.NewRegistry()
+		t1 := time.Now()
+		if _, err := e.Run(inst, spec.Body()); err != nil {
+			return Result{}, fmt.Errorf("workload %s on %s (telemetry overhead): %w", spec.Name, e.Name(), err)
+		}
+		if base > 0 {
+			r.TelemetryOverhead = time.Since(t1).Seconds() / base
 		}
 	}
 	r.Shards = st.Shards
@@ -477,6 +497,8 @@ type Artifact struct {
 // the shard count, the cut-latency summary (count, p50/p99 pause in
 // nanoseconds) and the per-shard breakdown (cuts, latency, checker-lane
 // segments), so sharded and unsharded cells are comparable in place.
+// The per-cell telemetry_overhead ratio is a later additive field —
+// absent cells read as unmeasured, so v3 readers stay compatible.
 const ArtifactSchema = "livetm/workload-matrix/v3"
 
 // WriteArtifact writes the result cells and the budget they were
