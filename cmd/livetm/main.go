@@ -20,7 +20,7 @@
 //	    liveness class; -live=false degrades to a plain recorded run
 //	    (like `livetm record`).
 //
-//	livetm serve -engine NAME [-workers N] [-submitters N] [-mix M] [-contention C] [-sharing S] [-shards S] [-duration D] [-progress D] [-metrics ADDR] [-flight FILE [-flight-every D]]
+//	livetm serve -engine NAME [-workers N] [-submitters N] [-mix M] [-contention C] [-sharing S] [-shards S] [-duration D] [-progress D] [-metrics ADDR] [-flight FILE [-flight-every D]] [-listen ADDR [-max-inflight N] [-retry-after D]]
 //	    Run a native engine as a long-lived service: one session whose
 //	    worker pool serves transactions submitted by concurrent client
 //	    goroutines, with the in-process monitor resident for the
@@ -35,7 +35,29 @@
 //	    /metrics, an indented JSON snapshot at /snapshot, and
 //	    net/http/pprof at /debug/pprof/ — and -flight FILE appends a
 //	    JSONL registry snapshot every -flight-every (default 1s) for
-//	    offline trajectory analysis.
+//	    offline trajectory analysis. -listen ADDR additionally puts
+//	    the session on the wire (internal/server): the HTTP/JSON wire
+//	    API v1 under /v1/ serves remote clients (blocking Exec
+//	    programs, async Submit/Wait, interactive transactions, remote
+//	    drain) on the same listener as the telemetry endpoints, with
+//	    per-client fair admission (-max-inflight caps concurrent
+//	    submissions; refusals answer 429 with a Retry-After of
+//	    -retry-after) — in this mode -submitters defaults to 0 (remote
+//	    clients are the load) and quiescent cuts are disabled unless
+//	    explicitly configured, since a parked interactive transaction
+//	    must not block a cut.
+//
+//	livetm client [-addr ADDR] [-name ID] [-clients N] [-ops N] [-strategy NAME [-rounds N] [-block-timeout D]] [-drain]
+//	    Drive a served session (`livetm serve -listen`) over the wire
+//	    API. Default mode is load: -clients connections each run -ops
+//	    increment programs, backing off on 429 exactly as the server's
+//	    Retry-After hints say, then print the commit/backoff tally and
+//	    the server's stats. -strategy runs a Theorem 1 environment
+//	    strategy (alg1, alg1-crash, alg2, alg2-parasitic) as a true
+//	    network client — each process an interactive wire transaction —
+//	    and prints the observed no-local-progress outcome. -drain asks
+//	    the server to drain and prints the session's final monitor
+//	    report, liveness class, and per-process starvation intervals.
 //
 //	livetm adversary [-tm NAME | -engine NAME | -matrix] [-alg 1|2] [-crash] [-parasitic] [-rounds N] [-out FILE] [-artifact FILE]
 //	    Run the Theorem 1 environment strategy against a TM and print
@@ -129,14 +151,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"livetm/internal/adversary"
+	"livetm/internal/adversary/netadv"
 	"livetm/internal/automaton"
+	"livetm/internal/client"
 	"livetm/internal/core"
 	"livetm/internal/engine"
 	"livetm/internal/explore"
@@ -146,6 +172,7 @@ import (
 	"livetm/internal/monitor"
 	"livetm/internal/native"
 	"livetm/internal/safety"
+	"livetm/internal/server"
 	"livetm/internal/sim"
 	"livetm/internal/stm"
 	"livetm/internal/telemetry"
@@ -169,6 +196,7 @@ var subcommands = []struct {
 	{"matrix", cmdMatrix},
 	{"run", cmdRun},
 	{"serve", cmdServe},
+	{"client", cmdClient},
 	{"check", cmdCheck},
 	{"classify", cmdClassify},
 	{"adversary", cmdAdversary},
@@ -945,6 +973,9 @@ func cmdServe(args []string) error {
 	quiesce := fs.Int("quiesce", 0, "quiescent-cut interval in completed transactions per worker (0 = the live default of 4, -1 = never)")
 	segment := fs.Int("segment", 0, "live checker segment budget in transactions (0 = default 48)")
 	shards := fs.Int("shards", 0, "keyspace shard count: shard-local quiescent cuts and one checker lane per shard (0 = unsharded; must be a power of two dividing -workers)")
+	listen := fs.String("listen", "", "serve the wire API v1 on this address (livetm client / internal/client); telemetry rides the same listener at /metrics. Defaults -submitters to 0 and -quiesce to -1 (network clients park transactions across round trips, which would stall a cut) unless set explicitly")
+	maxInflight := fs.Int("max-inflight", 256, "wire admission cap: total submissions in flight across all clients, shared fairly (0 = unbounded; -listen only)")
+	retryAfter := fs.Duration("retry-after", 50*time.Millisecond, "backoff hint attached to wire overload refusals (-listen only)")
 	metricsAddr := fs.String("metrics", "", "serve live telemetry on this address: Prometheus text at /metrics, JSON at /snapshot, pprof at /debug/pprof/ (empty = no endpoint)")
 	flight := fs.String("flight", "", "flight recorder: append a JSONL registry snapshot to this file every -flight-every (empty = off)")
 	flightEvery := fs.Duration("flight-every", time.Second, "flight-recorder snapshot interval")
@@ -956,6 +987,38 @@ func cmdServe(args []string) error {
 	}
 	if *progress <= 0 {
 		return fmt.Errorf("serve: -progress must be positive, got %v", *progress)
+	}
+	if *listen == "" {
+		var wireOnly []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "max-inflight", "retry-after":
+				wireOnly = append(wireOnly, "-"+f.Name)
+			}
+		})
+		if len(wireOnly) > 0 {
+			return fmt.Errorf("serve: %s only applies with -listen (wire admission control)", strings.Join(wireOnly, ", "))
+		}
+	} else {
+		// A wire service defaults to no local submitters (the load comes
+		// from the network) and, on a live session, to cuts disabled: a
+		// network client parks its transaction inside the body between
+		// round trips, and a quiescent cut would wait on it forever.
+		subSet, quiesceSet := false, false
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "submitters":
+				subSet = true
+			case "quiesce":
+				quiesceSet = true
+			}
+		})
+		if !subSet {
+			*submitters = 0
+		}
+		if !quiesceSet && *live {
+			*quiesce = -1
+		}
 	}
 	if !*live {
 		// Flags only the resident monitor honours are rejected, not
@@ -997,6 +1060,27 @@ func cmdServe(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	var wsrv *server.Server
+	if *listen != "" {
+		wsrv = server.New(s, server.Config{
+			MaxInflight: *maxInflight,
+			RetryAfter:  *retryAfter,
+			Registry:    reg,
+			Info: server.InfoResponse{
+				Engine: e.Name(), Workers: *workers, Vars: spec.Vars,
+				Shards: *shards, Live: *live,
+			},
+		})
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			_, _ = s.Close()
+			return fmt.Errorf("serve: -listen: %w", err)
+		}
+		hsrv := &http.Server{Handler: wsrv.Handler()}
+		go func() { _ = hsrv.Serve(ln) }()
+		defer hsrv.Close()
+		fmt.Printf("serve: wire API v1 on http://%s/v1/ (max-inflight=%d, telemetry at /metrics)\n", ln.Addr(), *maxInflight)
 	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -1072,6 +1156,21 @@ func cmdServe(args []string) error {
 	}
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
+	submittersDone := (<-chan struct{})(done)
+	var idleStop <-chan struct{}
+	if *submitters == 0 {
+		// No local submitters: the load is remote, so the instantly-empty
+		// WaitGroup must not end the serving loop — the signal handler
+		// (via ctx) or a remote drain does. With local submitters ctx
+		// stays out of the select: they observe the cancellation
+		// themselves and the loop ends on their clean exit.
+		submittersDone = nil
+		idleStop = ctx.Done()
+	}
+	var remoteDrained <-chan struct{}
+	if wsrv != nil {
+		remoteDrained = wsrv.Done()
+	}
 
 	start := time.Now()
 	tick := time.NewTicker(*progress)
@@ -1086,13 +1185,33 @@ serving:
 				time.Since(start).Round(time.Second), st.Workers, st.Submitted, st.Completed,
 				st.Commits, st.Aborts, 100*st.AbortRate(),
 				abortCauseSummary(snap), laneLagSummary(snap), st.BackoffBias)
-		case <-done:
+		case <-submittersDone:
+			break serving
+		case <-remoteDrained:
+			fmt.Println("serve: drained remotely (POST /v1/drain)")
+			break serving
+		case <-idleStop:
 			break serving
 		}
 	}
 
-	rep, cerr := s.Close()
-	st := s.Stats()
+	var (
+		rep  *monitor.Report
+		st   engine.SessionStats
+		cerr error
+	)
+	if wsrv != nil {
+		// Drain through the wire server so parked interactive
+		// transactions are abandoned before the session closes; a remote
+		// drain already ran this and the call just returns its outcome.
+		dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
+		res, derr := wsrv.Drain(dctx)
+		dcancel()
+		rep, st, cerr = res.Report, res.Stats, derr
+	} else {
+		rep, cerr = s.Close()
+		st = s.Stats()
+	}
 	fmt.Printf("serve: final report after %s: commits=%d aborts=%d (%.1f%%) no-commits=%d over %d workers\n",
 		time.Since(start).Round(time.Millisecond), st.Commits, st.Aborts, 100*st.AbortRate(), st.NoCommits, st.Workers)
 	if rep != nil {
@@ -1107,6 +1226,151 @@ serving:
 	case err := <-errc:
 		return fmt.Errorf("serve: submitter failed: %w", err)
 	default:
+	}
+	return nil
+}
+
+// cmdClient drives a served session (livetm serve -listen) over the
+// wire: either as a load generator — concurrent connections
+// submitting increment programs with a 429-aware backoff loop — or,
+// with -strategy, as the network adversary (the paper's environment
+// strategies executed as wire clients through
+// internal/adversary/netadv). -drain asks the server for a graceful
+// drain afterwards and prints the final monitor report.
+func cmdClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8722", "server address (livetm serve -listen)")
+	name := fs.String("name", "", "client identity for per-client fairness accounting (default livetm-<pid>)")
+	clients := fs.Int("clients", 4, "concurrent load connections")
+	ops := fs.Int("ops", 200, "programs each connection submits (load mode)")
+	strategyName := fs.String("strategy", "", "run this adversary strategy over the wire instead of load: alg1, alg1-crash, alg2 or alg2-parasitic")
+	rounds := fs.Int("rounds", 10, "p2 commits to sample (-strategy)")
+	blockTimeout := fs.Duration("block-timeout", 5*time.Second, "per-action budget before the TM counts as blocking (-strategy)")
+	drain := fs.Bool("drain", false, "after the run, gracefully drain the server and print its final monitor report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ident := *name
+	if ident == "" {
+		ident = fmt.Sprintf("livetm-%d", os.Getpid())
+	}
+	c := client.New(client.Config{Addr: *addr, Name: ident})
+	ctx := context.Background()
+	info, err := c.Info(ctx)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", *addr, err)
+	}
+	fmt.Printf("client: %s serving %s (%d workers, %d vars, live=%v)\n",
+		*addr, info.Engine, info.Workers, info.Vars, info.Live)
+
+	if *strategyName != "" {
+		var strat adversary.Strategy
+		found := false
+		for _, s := range adversary.Variants() {
+			if s.Name() == *strategyName {
+				strat, found = s, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("client: unknown strategy %q (alg1, alg1-crash, alg2, alg2-parasitic)", *strategyName)
+		}
+		if info.Workers < 2 {
+			return fmt.Errorf("client: the adversary needs 2 workers, the server has %d", info.Workers)
+		}
+		outcome, err := netadv.RunNetwork(c, strat, adversary.Config{
+			Rounds: *rounds, BlockTimeout: *blockTimeout,
+		})
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		fmt.Printf("client: strategy %s: rounds=%d p1-committed=%v blocked=%v local-progress-violated=%v\n",
+			strat.Name(), outcome.Rounds, outcome.P1Committed, outcome.Blocked, outcome.LocalProgressViolated())
+	} else {
+		if *clients <= 0 || *ops <= 0 {
+			return fmt.Errorf("client: -clients and -ops must be positive")
+		}
+		var committed, retries atomic.Uint64
+		var wg sync.WaitGroup
+		errc := make(chan error, *clients)
+		start := time.Now()
+		for i := 0; i < *clients; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				cc := client.New(client.Config{Addr: *addr, Name: fmt.Sprintf("%s-%d", ident, id)})
+				v := id % info.Vars
+				prog := []server.Op{{Kind: server.OpIncr, Var: v, Val: 1}}
+				for n := 0; n < *ops; n++ {
+					for {
+						res, err := cc.Exec(ctx, engine.AnyWorker, prog)
+						if err == nil {
+							if res.Committed {
+								committed.Add(1)
+							}
+							break
+						}
+						var werr *client.Error
+						if errors.Is(err, engine.ErrOverloaded) && errors.As(err, &werr) {
+							// The 429 path: honour the server's hint.
+							retries.Add(1)
+							wait := werr.RetryAfter
+							if wait <= 0 {
+								wait = 10 * time.Millisecond
+							}
+							time.Sleep(wait)
+							continue
+						}
+						errc <- fmt.Errorf("connection %d: %w", id, err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			return fmt.Errorf("client: %w", err)
+		default:
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("client: %d connections committed %d/%d programs in %v (%d overload retries)\n",
+			*clients, committed.Load(), *clients**ops, elapsed.Round(time.Millisecond), retries.Load())
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return fmt.Errorf("client: stats: %w", err)
+		}
+		fmt.Printf("client: server stats: submitted=%d completed=%d commits=%d aborts=%d (%.1f%%)\n",
+			st.Submitted, st.Completed, st.Commits, st.Aborts, 100*st.AbortRate())
+	}
+
+	if *drain {
+		dctx, cancel := context.WithTimeout(ctx, time.Minute)
+		defer cancel()
+		res, err := c.Drain(dctx)
+		if err != nil {
+			return fmt.Errorf("client: drain: %w", err)
+		}
+		fmt.Printf("client: server drained: commits=%d aborts=%d no-commits=%d\n",
+			res.Stats.Commits, res.Stats.Aborts, res.Stats.NoCommits)
+		if res.Report != nil {
+			fmt.Print(res.Report.Format())
+			fmt.Printf("  liveness class: %s\n", res.Report.LivenessClass())
+			intervals := res.Report.StarvationIntervals()
+			procs := make([]model.Proc, 0, len(intervals))
+			for proc := range intervals {
+				procs = append(procs, proc)
+			}
+			sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+			for _, proc := range procs {
+				if iv := intervals[proc]; len(iv) > 0 {
+					fmt.Printf("  p%d starvation intervals (events): %v\n", proc, iv)
+				}
+			}
+		}
+		if res.Code != "" {
+			return fmt.Errorf("client: server closed with %s: %s", res.Code, res.Error)
+		}
 	}
 	return nil
 }

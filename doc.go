@@ -20,7 +20,20 @@
 // counters mid-flight, and Close drains and returns the resident
 // monitor's final report; the batch engine.Run is a thin wrapper over
 // one session, and `livetm serve` runs a native TM as a SIGTERM-clean
-// soak service on the same core. Both substrates record histories:
+// soak service on the same core. The submission surface is
+// transport-agnostic: Session satisfies engine.Submitter, and
+// internal/server puts any Submitter on the wire as an HTTP/JSON API
+// (blocking programs, async submit/wait, interactive transactions,
+// remote drain) behind a pluggable Codec, with per-client fair
+// admission — a hard in-flight cap split fairly among active clients,
+// refusing with ErrOverloaded/429 plus a Retry-After hint instead of
+// queueing. internal/client is the matching Go client; engine error
+// sentinels round-trip the wire as stable codes, so errors.Is works
+// on both ends. `livetm serve -listen` serves a session remotely
+// (telemetry on the same listener), `livetm client` drives it — load
+// generation or a Theorem 1 adversary strategy running as a real
+// network client — and SIGTERM or a remote drain returns the
+// monitor's final report. Both substrates record histories:
 // native runs are observed at their linearization points through
 // internal/record (per-process chunked buffers ordered by one atomic
 // sequence counter), and internal/monitor checks any history online —

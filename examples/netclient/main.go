@@ -1,0 +1,136 @@
+// Netclient: sessions on the wire. Where the serve example drives a
+// session in-process, this one puts the same session behind the wire
+// API (internal/server) and drives it from the outside through
+// internal/client: blocking Exec programs, async Submit+Wait, an
+// overload-aware retry loop around the server's 429/Retry-After
+// admission refusals, and a graceful drain that brings back the
+// session's final monitor report over the wire.
+//
+// `livetm serve -listen` wraps the server half as a long-lived
+// process and `livetm client` the client half; this example runs both
+// ends in one binary over a loopback listener.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livetm/internal/client"
+	"livetm/internal/engine"
+	"livetm/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Server half: a live session behind the wire API. Cuts are
+	// disabled (QuiesceEvery -1) because wire clients may hold
+	// interactive transactions open across round trips; the monitor's
+	// approximate fallback carries the stream instead. MaxInflight is
+	// deliberately tiny so the example exercises the 429 path.
+	sess, err := engine.Open(engine.SessionConfig{
+		Engine:       "native-tl2",
+		Workers:      2,
+		Vars:         4,
+		Live:         true,
+		QuiesceEvery: -1,
+	})
+	if err != nil {
+		return err
+	}
+	srv := server.New(sess, server.Config{
+		MaxInflight: 4,
+		RetryAfter:  5 * time.Millisecond,
+		Info:        server.InfoResponse{Engine: sess.Name(), Workers: 2, Vars: 4, Live: true},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hsrv.Serve(ln) }()
+	defer hsrv.Close()
+	addr := ln.Addr().String()
+	fmt.Printf("serving %s on %s\n", sess.Name(), addr)
+
+	// Client half, blocking: each connection runs increment programs
+	// with Exec, backing off on engine.ErrOverloaded exactly as the
+	// sentinel's Retry-After hint says. errors.Is works across the
+	// wire: the server turned the engine sentinel into a stable code,
+	// the client turned it back.
+	const conns, progs = 6, 50
+	var committed, backoffs atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := client.New(client.Config{Addr: addr, Name: fmt.Sprintf("conn-%d", id)})
+			prog := []server.Op{{Kind: server.OpIncr, Var: id % 4, Val: 1}}
+			for n := 0; n < progs; n++ {
+				for {
+					res, err := c.Exec(context.Background(), engine.AnyWorker, prog)
+					if err == nil {
+						if res.Committed {
+							committed.Add(1)
+						}
+						break
+					}
+					var werr *client.Error
+					if errors.Is(err, engine.ErrOverloaded) && errors.As(err, &werr) {
+						backoffs.Add(1)
+						time.Sleep(werr.RetryAfter)
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "conn-%d: %v\n", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("blocking: %d/%d programs committed, %d overload backoffs\n",
+		committed.Load(), conns*progs, backoffs.Load())
+
+	// Async: Submit hands back an id immediately; Wait redeems it.
+	c := client.New(client.Config{Addr: addr, Name: "async"})
+	ctx := context.Background()
+	id, err := c.Submit(ctx, engine.AnyWorker, []server.Op{{Kind: server.OpRead, Var: 0}})
+	if err != nil {
+		return err
+	}
+	res, err := c.Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("async: var 0 = %d after the blocking phase\n", res.Reads[0])
+
+	// Graceful drain over the wire: the server finishes every accepted
+	// submission, closes the session, and ships the monitor's final
+	// report back.
+	dr, err := c.Drain(ctx)
+	if err != nil {
+		return err
+	}
+	if dr.Code != "" {
+		return fmt.Errorf("server closed with %s: %s", dr.Code, dr.Error)
+	}
+	fmt.Printf("drained: commits=%d aborts=%d", dr.Stats.Commits, dr.Stats.Aborts)
+	if dr.Report != nil {
+		fmt.Printf(", liveness class %q over %d events", dr.Report.LivenessClass(), dr.Report.Events)
+	}
+	fmt.Println()
+	return nil
+}

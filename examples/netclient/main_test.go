@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestRun executes the whole example: a served session over loopback,
+// concurrent wire clients with the 429 backoff loop, an async
+// submit/wait pair, and a graceful drain returning the final report.
+// Run with -race.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

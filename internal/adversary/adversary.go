@@ -69,6 +69,11 @@ type Config struct {
 	ParasiticP1 bool
 }
 
+// WithDefaults returns the config with the documented defaults
+// filled in — for out-of-package Driver implementations that hold a
+// copy of the config (Drive applies the same defaults internally).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Rounds == 0 {
 		c.Rounds = 20

@@ -113,6 +113,20 @@ type Outcome struct {
 // forever, or everyone blocks — yet pending.)
 func (o Outcome) LocalProgressViolated() bool { return !o.P1Committed }
 
+// Drive executes strategy s against driver d for up to cfg.Rounds p2
+// commits, validating the strategy and applying the config defaults
+// first. It is the exported entry point for Driver implementations
+// living outside this package (the network driver of
+// internal/adversary/netadv); the in-package substrates call drive
+// directly.
+func Drive(d Driver, s Strategy, cfg Config) (Outcome, error) {
+	cfg = cfg.withDefaults()
+	if err := s.validate(); err != nil {
+		return Outcome{}, err
+	}
+	return drive(d, s, cfg), nil
+}
+
 // drive executes strategy s against driver d for up to cfg.Rounds p2
 // commits. It is the one copy of Algorithms 1 and 2: both substrates
 // run exactly this loop.

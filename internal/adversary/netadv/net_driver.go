@@ -1,0 +1,179 @@
+// Package netadv runs the adversary strategies of internal/adversary
+// as network clients: the same Driver contract, but every strategy
+// step is one or more wire round trips through internal/client
+// against a served session. It lives outside internal/adversary only
+// to break the import cycle adversary -> client -> engine -> core ->
+// adversary.
+package netadv
+
+import (
+	"context"
+	"time"
+
+	"livetm/internal/adversary"
+	"livetm/internal/client"
+	"livetm/internal/model"
+	"livetm/internal/server"
+)
+
+// NetDriver drives the strategies through the wire API: p1 and p2 are
+// network clients holding interactive transactions open across
+// requests against a served session (internal/server). Every strategy
+// step is one or more round trips, so the starvation the strategies
+// manufacture is measured at the protocol boundary — where a
+// production user would feel it — instead of next to the TM.
+//
+// The mapping onto the gate semantics of NativeDriver is one-to-one:
+// an aborted wire op leaves the transaction open (the engine's retry
+// loop re-entered the body server-side, the next op lands on the
+// fresh attempt), a Retrying finish is a failed commit with the
+// transaction still open, and a wire call that exceeds BlockTimeout
+// is the substrate blocking the process.
+type NetDriver struct {
+	c   *client.Client
+	cfg adversary.Config
+
+	txs     [2]*client.Tx
+	crashed [2]bool
+}
+
+// ctx returns one action's budget.
+func (d *NetDriver) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d.cfg.BlockTimeout)
+}
+
+// tx returns process p's open interactive transaction, beginning one
+// pinned to worker p-1 if none is open.
+func (d *NetDriver) tx(ctx context.Context, p int) (*client.Tx, bool) {
+	i := p - 1
+	if d.txs[i] == nil {
+		tx, err := d.c.Begin(ctx, i)
+		if err != nil {
+			return nil, false
+		}
+		d.txs[i] = tx
+	}
+	return d.txs[i], true
+}
+
+// Read implements Driver: one read of x inside p's open transaction.
+func (d *NetDriver) Read(p int) adversary.StepResult {
+	if d.crashed[p-1] {
+		return adversary.StepResult{Blocked: true}
+	}
+	ctx, cancel := d.ctx()
+	defer cancel()
+	tx, ok := d.tx(ctx, p)
+	if !ok {
+		return adversary.StepResult{Blocked: true}
+	}
+	v, aborted, err := tx.Read(ctx, int(adversary.X))
+	if err != nil {
+		return adversary.StepResult{Blocked: true}
+	}
+	return adversary.StepResult{Val: model.Value(v), OK: !aborted}
+}
+
+// Finish implements Driver: p writes v+1 and hands its open attempt
+// to the commit path. OK false with no block means the attempt
+// aborted (on the write or the commit) and the transaction is open
+// again — the strategies' "on abort, return to Step 1".
+func (d *NetDriver) Finish(p int, v model.Value) adversary.StepResult {
+	i := p - 1
+	if d.crashed[i] || d.txs[i] == nil {
+		return adversary.StepResult{Blocked: true}
+	}
+	ctx, cancel := d.ctx()
+	defer cancel()
+	tx := d.txs[i]
+	aborted, err := tx.Write(ctx, int(adversary.X), int64(v)+1)
+	if err != nil {
+		return adversary.StepResult{Blocked: true}
+	}
+	if aborted {
+		return adversary.StepResult{OK: false}
+	}
+	fin, err := tx.Finish(ctx, server.FinishCommit)
+	if err != nil {
+		return adversary.StepResult{Blocked: true}
+	}
+	if fin.Retrying {
+		return adversary.StepResult{OK: false}
+	}
+	d.txs[i] = nil
+	return adversary.StepResult{OK: fin.Committed}
+}
+
+// Attempt implements Driver: one whole transaction attempt — read x,
+// write the value plus one, try to commit.
+func (d *NetDriver) Attempt(p int) adversary.StepResult {
+	i := p - 1
+	if d.crashed[i] {
+		return adversary.StepResult{Blocked: true}
+	}
+	ctx, cancel := d.ctx()
+	defer cancel()
+	tx, ok := d.tx(ctx, p)
+	if !ok {
+		return adversary.StepResult{Blocked: true}
+	}
+	v, aborted, err := tx.Read(ctx, int(adversary.X))
+	if err != nil {
+		return adversary.StepResult{Blocked: true}
+	}
+	if aborted {
+		return adversary.StepResult{OK: false}
+	}
+	aborted, err = tx.Write(ctx, int(adversary.X), v+1)
+	if err != nil {
+		return adversary.StepResult{Blocked: true}
+	}
+	if aborted {
+		return adversary.StepResult{OK: false}
+	}
+	fin, err := tx.Finish(ctx, server.FinishCommit)
+	if err != nil {
+		return adversary.StepResult{Blocked: true}
+	}
+	if fin.Retrying {
+		return adversary.StepResult{OK: false}
+	}
+	d.txs[i] = nil
+	return adversary.StepResult{OK: fin.Committed}
+}
+
+// Crash implements Driver: p takes no further steps and its open
+// transaction stays open server-side, holding whatever it holds.
+func (d *NetDriver) Crash(p int) {
+	d.crashed[p-1] = true
+}
+
+// close abandons whatever transactions are still open — including a
+// crashed process's, mirroring NativeDriver's teardown, so the served
+// session can drain.
+func (d *NetDriver) close() {
+	for i, tx := range d.txs {
+		if tx == nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = tx.Abandon(ctx)
+		cancel()
+		d.txs[i] = nil
+	}
+}
+
+// RunNetwork runs strategy s against a served session through c: the
+// adversary as a pair of network clients. The outcome carries the
+// substrate-independent figures; the final monitor report — with the
+// starvation intervals measured over the same run — comes from
+// draining the server afterwards (client.Drain or the serve process's
+// SIGTERM handler). The served session should disable quiescent cuts
+// (SessionConfig.QuiesceEvery = -1): the strategies hold transactions
+// open across round trips, which would stall a cut's rendezvous.
+func RunNetwork(c *client.Client, s adversary.Strategy, cfg adversary.Config) (adversary.Outcome, error) {
+	d := &NetDriver{c: c, cfg: cfg.WithDefaults()}
+	outcome, err := adversary.Drive(d, s, cfg)
+	d.close()
+	return outcome, err
+}

@@ -48,6 +48,20 @@
 // OpsPerProc rounds, drain, close. `livetm serve` is the same shape as
 // a SIGTERM-clean soak service.
 //
+// The submission surface is factored out as the Submitter interface
+// (Exec/ExecOn blocking, Submit/SubmitOn async) so layers that put
+// sessions on the wire depend on the capability, not the struct:
+// internal/server adapts any Submitter to an HTTP/JSON wire API with
+// per-client fair admission, and internal/client speaks it back.
+// Backpressure is part of the contract — SessionConfig.MaxQueue
+// bounds each worker lane and an async Submit against a full lane
+// refuses immediately with ErrOverloaded rather than blocking, the
+// sentinel the server translates to HTTP 429 plus a Retry-After
+// hint. Every sentinel in this package (ErrOverloaded, ErrClosed,
+// ErrStopped, ErrStepBudget, ErrBusy, ErrNoCommit, ErrLiveViolation)
+// round-trips the wire as a stable code, so errors.Is holds on both
+// ends of the connection.
+//
 // On the native substrate workers are real goroutines and submissions
 // execute as soon as a worker frees up; quiescent cuts for the
 // checkers are brief global pauses (no new transaction starts while

@@ -50,12 +50,44 @@ var ErrStopped = errors.New("engine: session stopped by the live monitor")
 // semantics.
 var ErrStepBudget = errors.New("engine: session step budget exhausted")
 
+// ErrOverloaded is returned by an asynchronous Submit when the target
+// lane already holds SessionConfig.MaxQueue pending submissions: the
+// submission was not accepted and the caller should back off and
+// retry. Only Submit sees it — Exec blocks against QueueDepth instead
+// of failing — so it is the signal a service layer turns into
+// HTTP 429 + Retry-After.
+var ErrOverloaded = errors.New("engine: submission queue full")
+
 // Body is one client-submitted transaction: like TxBody but anonymous
 // — a session transaction has no round number, and its process
 // identity is whichever worker executes it. It must be idempotent
 // across retries and must stop (return the error) when an operation
 // fails.
 type Body func(tx Tx) error
+
+// Submitter is the transaction-submission surface of a Session — the
+// four ways a client hands work to a TM instance, separated from the
+// session's lifecycle methods (Drain, Stats, AddWorkers, Close) so a
+// service layer can accept submissions through any intermediary: a
+// *Session directly, a wire server fronting one, or a router fanning
+// out over several. The contract is the Session one: Exec/ExecOn
+// block for the commit result and feel QueueDepth backpressure;
+// Submit/SubmitOn never block, invoke done (which must not block)
+// exactly once per accepted submission, and fail fast with
+// ErrOverloaded past MaxQueue.
+type Submitter interface {
+	// Exec submits one transaction to any worker and blocks until it
+	// commits (nil), is declined (ErrNoCommit), or fails.
+	Exec(ctx context.Context, body Body) error
+	// ExecOn is Exec pinned to one worker (0-based); AnyWorker
+	// restores Exec.
+	ExecOn(ctx context.Context, worker int, body Body) error
+	// Submit enqueues one transaction asynchronously; done (may be
+	// nil) is invoked exactly once with the commit result.
+	Submit(body Body, done func(error)) error
+	// SubmitOn is Submit pinned to one worker (0-based).
+	SubmitOn(worker int, body Body, done func(error)) error
+}
 
 // SessionConfig sizes a long-lived session.
 type SessionConfig struct {
@@ -88,8 +120,18 @@ type SessionConfig struct {
 	// substrate: Exec blocks while its lane holds that many pending
 	// transactions. Asynchronous Submit is exempt — it must never block
 	// because a worker's result callback may be the submitter — so an
-	// unchecked Submit flood grows the queue instead. 0 defaults to 64.
+	// unchecked Submit flood grows the queue instead (bound it with
+	// MaxQueue). 0 defaults to 64.
 	QueueDepth int
+	// MaxQueue is the hard admission cap of each submission lane: an
+	// asynchronous Submit whose target lane already holds this many
+	// pending transactions is refused with ErrOverloaded instead of
+	// growing the queue without bound. Unlike QueueDepth it never
+	// blocks — refusal is immediate, which is what lets a worker's
+	// result callback keep submitting safely and a service layer turn
+	// the sentinel into HTTP 429. 0 means unbounded (the historical
+	// behaviour). Applies on both substrates.
+	MaxQueue int
 	// Record retains the session's history (see RunConfig.Record);
 	// Session.History returns it after Close.
 	Record bool
@@ -163,6 +205,9 @@ func (cfg SessionConfig) validate(sub Substrate) error {
 	}
 	if cfg.Vars <= 0 {
 		return fmt.Errorf("engine: need a positive variable count, got %d", cfg.Vars)
+	}
+	if cfg.MaxQueue < 0 {
+		return fmt.Errorf("engine: MaxQueue must be non-negative, got %d", cfg.MaxQueue)
 	}
 	switch sub {
 	case Simulated:
@@ -312,6 +357,9 @@ type Session struct {
 	name string
 	b    sessionBackend
 }
+
+// A Session is the canonical Submitter.
+var _ Submitter = (*Session)(nil)
 
 // Name returns the engine name the session runs on.
 func (s *Session) Name() string { return s.name }

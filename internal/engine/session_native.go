@@ -289,6 +289,12 @@ func (s *nativeSession) submit(ctx context.Context, worker int, body Body, done 
 	if s.closed {
 		return ErrClosed
 	}
+	if !demand && s.cfg.MaxQueue > 0 && s.laneLenLocked(worker) >= s.cfg.MaxQueue {
+		// The admission cap: a Submit flood is refused, never queued
+		// without bound — and never blocked, so result callbacks that
+		// submit follow-up work stay deadlock-free.
+		return ErrOverloaded
+	}
 	s.met.submitted.Inc()
 	j := &sessionJob{body: body, done: done}
 	if worker == AnyWorker {

@@ -113,6 +113,15 @@ func (s *simSession) submit(_ context.Context, worker int, body Body, done func(
 	if s.fatal != nil {
 		return s.fatal
 	}
+	if !demand && s.cfg.MaxQueue > 0 {
+		lane := len(s.sharedQ)
+		if worker != AnyWorker {
+			lane = len(s.pinnedQ[worker])
+		}
+		if lane >= s.cfg.MaxQueue {
+			return ErrOverloaded
+		}
+	}
 	j := &simJob{body: body, done: done, demand: demand}
 	if worker == AnyWorker {
 		s.sharedQ = append(s.sharedQ, j)

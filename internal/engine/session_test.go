@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -503,5 +504,160 @@ func TestSessionExecBackpressureHonorsContext(t *testing.T) {
 	}
 	if got := s.Stats().Completed; got != 2 {
 		t.Fatalf("completed = %d, want 2 (the cancelled Exec was never admitted)", got)
+	}
+}
+
+// TestSessionMaxQueueOverloaded: the hard admission cap — an async
+// Submit whose lane is full is refused with ErrOverloaded on both
+// substrates, refusal is immediate (never blocks), and freeing the
+// lane readmits.
+func TestSessionMaxQueueOverloaded(t *testing.T) {
+	t.Run("native-tl2", func(t *testing.T) {
+		s := openTestSession(t, "native-tl2", SessionConfig{Workers: 1, Vars: 1, MaxQueue: 1})
+		started := make(chan struct{})
+		release := make(chan struct{})
+		if err := s.SubmitOn(0, func(tx Tx) error {
+			close(started)
+			<-release // occupy the only worker, off the lane
+			return tx.Write(0, 1)
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		<-started
+		if err := s.SubmitOn(0, counterSessionBody(0), nil); err != nil {
+			t.Fatalf("submission filling the lane: %v", err) // lane now at MaxQueue
+		}
+		if err := s.SubmitOn(0, counterSessionBody(0), nil); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("over-cap submit err = %v, want ErrOverloaded", err)
+		}
+		// The shared lane has its own cap.
+		if err := s.Submit(counterSessionBody(0), nil); err != nil {
+			t.Fatalf("shared-lane submit: %v", err)
+		}
+		if err := s.Submit(counterSessionBody(0), nil); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("over-cap shared submit err = %v, want ErrOverloaded", err)
+		}
+		close(release)
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		// Drained lanes admit again.
+		if err := s.SubmitOn(0, counterSessionBody(0), nil); err != nil {
+			t.Fatalf("submit after drain: %v", err)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("sim-tl2", func(t *testing.T) {
+		// The simulated scheduler only runs under Exec/Drain, so queued
+		// submissions stay in the lane: the second async Submit trips
+		// the cap deterministically.
+		s := openTestSession(t, "sim-tl2", SessionConfig{Workers: 1, Vars: 1, SimSteps: 50000, MaxQueue: 1})
+		if err := s.Submit(counterSessionBody(0), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit(counterSessionBody(0), nil); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("over-cap sim submit err = %v, want ErrOverloaded", err)
+		}
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit(counterSessionBody(0), nil); err != nil {
+			t.Fatalf("submit after drain: %v", err)
+		}
+		if _, err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSessionSubmitWorkerOutOfRange: pinned submissions past the
+// admitted pool (or negative, other than AnyWorker) are refused
+// outright on both substrates — async and blocking alike.
+func TestSessionSubmitWorkerOutOfRange(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  SessionConfig
+	}{
+		{"native-tl2", SessionConfig{Workers: 2, Vars: 1}},
+		{"sim-tl2", SessionConfig{Workers: 2, Vars: 1, SimSteps: 50000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTestSession(t, tc.name, tc.cfg)
+			for _, worker := range []int{2, 99, -2} {
+				if err := s.SubmitOn(worker, counterSessionBody(0), func(error) {
+					t.Errorf("callback invoked for refused worker %d", worker)
+				}); err == nil {
+					t.Errorf("SubmitOn(%d) accepted, want out-of-range refusal", worker)
+				}
+				if err := s.ExecOn(context.Background(), worker, counterSessionBody(0)); err == nil {
+					t.Errorf("ExecOn(%d) accepted, want out-of-range refusal", worker)
+				}
+			}
+			if st := s.Stats(); st.Submitted != 0 {
+				t.Errorf("refused submissions counted: %+v", st)
+			}
+			if _, err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSessionSubmitCallbacksRaceClose floods Submit from several
+// goroutines while Close runs: every accepted submission's callback
+// fires exactly once (executed or failed, but never dropped and never
+// doubled). Run with -race.
+func TestSessionSubmitCallbacksRaceClose(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  SessionConfig
+	}{
+		{"native-tl2", SessionConfig{Workers: 2, Vars: 1}},
+		{"sim-tl2", SessionConfig{Workers: 2, Vars: 1, SimSteps: 200000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTestSession(t, tc.name, tc.cfg)
+			const floods = 4
+			var accepted, fired atomic.Int64
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for g := 0; g < floods; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						err := s.Submit(counterSessionBody(0), func(error) { fired.Add(1) })
+						if errors.Is(err, ErrClosed) {
+							return
+						}
+						if err == nil {
+							accepted.Add(1)
+						}
+					}
+				}()
+			}
+			// Let the flood run, then close under it.
+			for accepted.Load() < 100 {
+				runtime.Gosched()
+			}
+			_, cerr := s.Close()
+			close(stop)
+			wg.Wait()
+			if cerr != nil && !errors.Is(cerr, ErrStepBudget) {
+				t.Fatalf("close: %v", cerr)
+			}
+			// Close drained the workers, so no callback is still in
+			// flight: the counts must match exactly.
+			if accepted.Load() != fired.Load() {
+				t.Fatalf("accepted %d submissions but %d callbacks fired", accepted.Load(), fired.Load())
+			}
+		})
 	}
 }

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"sync"
+
+	"livetm/internal/engine"
+	"livetm/internal/telemetry"
+)
+
+// admission is the server's slot accountant. Every submission —
+// blocking exec, async submit, interactive transaction — holds one
+// slot from acceptance to completion. Two limits apply at acquire
+// time: the global cap (max, 0 = unbounded), and each client's fair
+// share of it, recomputed against the set of currently-active clients
+// so a flooding client hits its share while a light one is still
+// admitted. Refusal is immediate and never blocks: the caller turns
+// it into ErrOverloaded / HTTP 429 with a Retry-After hint.
+type admission struct {
+	mu      sync.Mutex
+	max     int
+	total   int
+	clients map[string]*clientSlots
+	reg     *telemetry.Registry
+}
+
+// clientSlots is one client's admission account and its per-client
+// instrument handles. The handles are bare instruments when the
+// server has no registry (the sessionMetrics convention), so the
+// accounting path carries no nil checks.
+type clientSlots struct {
+	inflight   int
+	gInflight  *telemetry.Gauge
+	cRejected  *telemetry.Counter
+	cRetryHint *telemetry.Counter
+}
+
+func newAdmission(max int, reg *telemetry.Registry) *admission {
+	return &admission{max: max, clients: make(map[string]*clientSlots), reg: reg}
+}
+
+// slotsFor resolves (or fabricates, registry-free) the client's
+// account. Callers hold a.mu.
+func (a *admission) slotsFor(client string) *clientSlots {
+	cs := a.clients[client]
+	if cs == nil {
+		cs = &clientSlots{}
+		if a.reg != nil {
+			cs.gInflight = a.reg.Gauge("livetm_server_inflight",
+				"Admitted submissions currently in flight per client", "client", client)
+			cs.cRejected = a.reg.Counter("livetm_server_rejected_total",
+				"Submissions refused by admission control per client", "client", client)
+			cs.cRetryHint = a.reg.Counter("livetm_server_retry_after_total",
+				"Retry-After hints issued per client", "client", client)
+		} else {
+			cs.gInflight = &telemetry.Gauge{}
+			cs.cRejected = &telemetry.Counter{}
+			cs.cRetryHint = &telemetry.Counter{}
+		}
+		a.clients[client] = cs
+	}
+	return cs
+}
+
+// acquire takes one slot for client, or refuses with ErrOverloaded.
+// The fair share is ceil(max / active) where active counts every
+// client with work in flight plus the requester itself; with max 0
+// admission is unbounded and only the engine's own MaxQueue pushes
+// back.
+func (a *admission) acquire(client string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := a.slotsFor(client)
+	if a.max > 0 {
+		refuse := a.total >= a.max
+		if !refuse {
+			active := 1 // the requester
+			for _, other := range a.clients {
+				if other != cs && other.inflight > 0 {
+					active++
+				}
+			}
+			share := (a.max + active - 1) / active
+			refuse = cs.inflight >= share
+		}
+		if refuse {
+			cs.cRejected.Inc()
+			cs.cRetryHint.Inc()
+			return engine.ErrOverloaded
+		}
+	}
+	cs.inflight++
+	a.total++
+	cs.gInflight.Set(int64(cs.inflight))
+	return nil
+}
+
+// release returns client's slot.
+func (a *admission) release(client string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := a.clients[client]
+	if cs == nil || cs.inflight == 0 {
+		return
+	}
+	cs.inflight--
+	a.total--
+	cs.gInflight.Set(int64(cs.inflight))
+}
+
+// inflightTotal reports the slots currently held (drain watches this
+// reach zero through the backend's own Drain, so this is diagnostic).
+func (a *admission) inflightTotal() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}

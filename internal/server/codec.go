@@ -1,0 +1,37 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Codec frames wire bodies. The server negotiates nothing: one codec
+// is configured on each side, and the HTTP Content-Type carries its
+// name. Keeping the frame encoding behind this boundary is what lets
+// a compact binary framing replace JSON later without touching the
+// handlers, the client, or the wire vocabulary in wire.go.
+type Codec interface {
+	// Name is the codec's short name ("json").
+	Name() string
+	// ContentType is the HTTP content type of encoded frames.
+	ContentType() string
+	// Encode writes v's frame to w.
+	Encode(w io.Writer, v any) error
+	// Decode reads one frame from r into v.
+	Decode(r io.Reader, v any) error
+}
+
+// JSONCodec is the default codec: one JSON document per frame.
+type JSONCodec struct{}
+
+// Name implements Codec.
+func (JSONCodec) Name() string { return "json" }
+
+// ContentType implements Codec.
+func (JSONCodec) ContentType() string { return "application/json" }
+
+// Encode implements Codec.
+func (JSONCodec) Encode(w io.Writer, v any) error { return json.NewEncoder(w).Encode(v) }
+
+// Decode implements Codec.
+func (JSONCodec) Decode(r io.Reader, v any) error { return json.NewDecoder(r).Decode(v) }

@@ -1,0 +1,63 @@
+// Package server puts a TM session on the wire: a transport-agnostic
+// submission service over an engine.Submitter, serving multiple
+// network clients with admission control, per-client fairness, and a
+// graceful drain that finishes every accepted transaction and returns
+// the resident monitor's final report.
+//
+// # Layering
+//
+// The server accepts submissions through the engine.Submitter
+// interface plus the session lifecycle (Backend), so anything that
+// executes transactions — a *engine.Session directly, or a router
+// fanning out over several — can sit behind the same wire API. The
+// wire itself is HTTP with a pluggable Codec for the frame bodies
+// (JSON today; the Codec boundary is where a compact binary framing
+// slots in later without touching handlers or clients).
+//
+// # Wire API (v1)
+//
+//	POST /v1/exec      one-shot transaction program, blocking: the
+//	                   response carries the commit verdict and the
+//	                   values read (Session.Exec over the wire)
+//	POST /v1/submit    the same program asynchronously: an id comes
+//	                   back immediately (Session.Submit over the wire)
+//	POST /v1/wait      block for an async submission's result by id
+//	POST /v1/tx/begin  open an interactive transaction pinned to a
+//	                   worker lane; the transaction stays open across
+//	                   requests (the adversary strategies' gates)
+//	POST /v1/tx/op     one read or write inside the open transaction
+//	POST /v1/tx/finish commit, decline (nocommit), or abandon it
+//	GET  /v1/info      engine name, worker/variable counts, liveness
+//	GET  /v1/stats     engine.SessionStats snapshot
+//	POST /v1/drain     graceful drain: stop admitting, finish every
+//	                   accepted submission, close the session, and
+//	                   return the final monitor report
+//
+// When a telemetry registry is configured the same listener also
+// serves /metrics, /snapshot and /debug/pprof/ (telemetry.Handler),
+// with per-client admission gauges (inflight, rejected, retry-after
+// issued) registered alongside the session's own instruments.
+//
+// # Admission control and fairness
+//
+// Every submission — blocking, async, or interactive — occupies one
+// admission slot from acceptance to completion. Config.MaxInflight
+// caps the slots globally, and each client is limited to its fair
+// share (MaxInflight divided by the number of currently-active
+// clients), so a flooding client is refused while a light one is
+// still admitted. Refusals are engine.ErrOverloaded on the wire:
+// HTTP 429 with a Retry-After hint. The engine-level
+// SessionConfig.MaxQueue cap surfaces through the same path.
+//
+// # Interactive transactions and cuts
+//
+// An interactive transaction parks a worker inside its transaction
+// body between ops, holding its shard's quiescent-cut lock the whole
+// time, so a live session serving interactive clients should disable
+// quiescent cuts (SessionConfig.QuiesceEvery = -1); the monitor's
+// liveness accounting and approximate opacity fallback carry the
+// stream instead. This is exactly the trade the network adversary
+// driver (internal/adversary.RunNetwork) makes: starvation is
+// measured at the protocol boundary, where a production user would
+// feel it.
+package server

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"livetm/internal/engine"
+)
+
+// errAbandoned is the terminal result of an abandoned interactive
+// transaction. It is deliberately not engine.ErrAborted: the native
+// retry loop treats any other body error as terminal, tears the
+// attempt down (releasing whatever it holds), and reports the error
+// through the submission's done callback — exactly the teardown an
+// abandon wants.
+var errAbandoned = errors.New("server: interactive transaction abandoned")
+
+// icmd kinds.
+const (
+	icRead = iota
+	icWrite
+	icFinish
+	icNoCommit
+)
+
+// icmd is one client op relayed into the parked transaction body.
+type icmd struct {
+	kind  int
+	varIx int
+	val   int64
+	reply chan ireply // cap 1: the body's send never blocks
+}
+
+// ireply is the body's answer: the value read, the attempt that
+// served the op, and — for reads and writes — the op's abort error,
+// after which the retry loop re-enters the body as a fresh attempt.
+type ireply struct {
+	val     int64
+	attempt int64
+	err     error
+}
+
+// itx is one interactive transaction: a submission whose body parks
+// on a worker goroutine between ops, relaying reads and writes from
+// the wire into the live engine.Tx. The body is re-entered by the
+// engine's retry loop after every abort, so one itx spans many
+// attempts; the attempt counter plus the entered signal are how a
+// finish distinguishes "commit succeeded" from "commit aborted and
+// the transaction is open again" without racing the loop.
+type itx struct {
+	id     string
+	client string
+	worker int
+
+	cmds    chan *icmd
+	entered chan struct{} // cap 1: pulsed at each body entry
+	attempt atomic.Int64
+
+	abandon     chan struct{}
+	abandonOnce sync.Once
+
+	complete chan struct{} // closed by the done callback
+	result   error
+
+	// opMu serializes this transaction's wire ops: the gate protocol
+	// is strictly one op at a time per transaction (concurrent ops on
+	// one txn id would race the attempt accounting).
+	opMu sync.Mutex
+}
+
+func newItx(id, client string, worker int) *itx {
+	return &itx{
+		id:       id,
+		client:   client,
+		worker:   worker,
+		cmds:     make(chan *icmd),
+		entered:  make(chan struct{}, 1),
+		abandon:  make(chan struct{}),
+		complete: make(chan struct{}),
+	}
+}
+
+// body is the transaction body submitted to the session. Every entry
+// is one attempt: bump the counter, pulse entered, then serve ops
+// until one aborts (return the error — the retry loop re-enters), a
+// finish hands the attempt to the commit path (return nil), a
+// nocommit declines the round, or an abandon tears the whole
+// transaction down.
+func (t *itx) body(tx engine.Tx) error {
+	t.attempt.Add(1)
+	select {
+	case t.entered <- struct{}{}:
+	default:
+	}
+	for {
+		select {
+		case <-t.abandon:
+			return errAbandoned
+		case c := <-t.cmds:
+			att := t.attempt.Load()
+			switch c.kind {
+			case icRead:
+				v, err := tx.Read(c.varIx)
+				c.reply <- ireply{val: v, attempt: att, err: err}
+				if err != nil {
+					return err
+				}
+			case icWrite:
+				err := tx.Write(c.varIx, c.val)
+				c.reply <- ireply{attempt: att, err: err}
+				if err != nil {
+					return err
+				}
+			case icFinish:
+				c.reply <- ireply{attempt: att}
+				return nil
+			case icNoCommit:
+				c.reply <- ireply{attempt: att}
+				return engine.ErrNoCommit
+			}
+		}
+	}
+}
+
+// finished is the submission's done callback. It runs on the worker
+// goroutine and must not block: record the terminal result and close
+// complete (the server's registered cleanup hooks run off the same
+// callback, see Server.trackItx).
+func (t *itx) finished(err error) {
+	t.result = err
+	close(t.complete)
+}
+
+// abandonNow requests teardown. Idempotent; the body observes the
+// closed channel at its next park and returns errAbandoned, which
+// the engine treats as terminal.
+func (t *itx) abandonNow() {
+	t.abandonOnce.Do(func() { close(t.abandon) })
+}
+
+// drainEntered clears a stale entry pulse so a finish that follows
+// can attribute the next pulse to the retry loop, not to the attempt
+// it is about to end. Callers hold opMu.
+func (t *itx) drainEntered() {
+	select {
+	case <-t.entered:
+	default:
+	}
+}

@@ -1,0 +1,577 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livetm/internal/engine"
+	"livetm/internal/monitor"
+	"livetm/internal/telemetry"
+)
+
+// Backend is what the server serves: the submission surface plus the
+// session lifecycle. *engine.Session satisfies it directly; a router
+// fanning out over several sessions would too.
+type Backend interface {
+	engine.Submitter
+	// Drain blocks until every accepted submission has completed.
+	Drain(ctx context.Context) error
+	// Stats snapshots the session counters.
+	Stats() engine.SessionStats
+	// Close tears the session down and returns the final monitor
+	// report (nil when the session is not live).
+	Close() (*monitor.Report, error)
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxInflight is the global admission cap: the total number of
+	// submissions (blocking, async, and interactive) the server holds
+	// in flight at once, shared fairly among active clients. 0 leaves
+	// admission unbounded (the engine's own MaxQueue still applies).
+	MaxInflight int
+	// RetryAfter is the backoff hint attached to overload refusals
+	// (Retry-After header + retry_after_ms body field). 0 defaults to
+	// 50ms.
+	RetryAfter time.Duration
+	// Codec frames the wire bodies; nil defaults to JSONCodec.
+	Codec Codec
+	// Registry, when set, receives the per-client admission
+	// instruments and gets its /metrics, /snapshot and /debug/pprof/
+	// endpoints mounted on the server's own handler.
+	Registry *telemetry.Registry
+	// Info describes the serving session to clients (GET /v1/info).
+	// Info.Vars also bounds the variable index accepted in programs
+	// and interactive ops.
+	Info InfoResponse
+}
+
+// pendingSub is one async submission awaiting its /v1/wait.
+type pendingSub struct {
+	done   chan struct{}
+	result error
+	reads  []int64
+}
+
+// Server is the wire front of one Backend. Create with New, expose
+// via Handler, and end with Drain (directly on SIGTERM, or remotely
+// through POST /v1/drain).
+type Server struct {
+	cfg     Config
+	backend Backend
+	adm     *admission
+	mux     *http.ServeMux
+
+	idSeq    atomic.Uint64
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	itxs  map[string]*itx
+	waits map[string]*pendingSub
+
+	drainOnce sync.Once
+	drainErr  error
+	drainRes  DrainResponse
+	done      chan struct{}
+}
+
+// New builds a Server over backend.
+func New(backend Backend, cfg Config) *Server {
+	if cfg.Codec == nil {
+		cfg.Codec = JSONCodec{}
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 50 * time.Millisecond
+	}
+	s := &Server{
+		cfg:     cfg,
+		backend: backend,
+		adm:     newAdmission(cfg.MaxInflight, cfg.Registry),
+		mux:     http.NewServeMux(),
+		itxs:    make(map[string]*itx),
+		waits:   make(map[string]*pendingSub),
+		done:    make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
+	s.mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/wait", s.handleWait)
+	s.mux.HandleFunc("POST /v1/tx/begin", s.handleTxBegin)
+	s.mux.HandleFunc("POST /v1/tx/op", s.handleTxOp)
+	s.mux.HandleFunc("POST /v1/tx/finish", s.handleTxFinish)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	if cfg.Registry != nil {
+		th := telemetry.Handler(cfg.Registry)
+		s.mux.Handle("/metrics", th)
+		s.mux.Handle("/snapshot", th)
+		s.mux.Handle("/debug/pprof/", th)
+	}
+	return s
+}
+
+// Handler is the server's HTTP surface (wire API v1 plus, with a
+// registry, the telemetry endpoints).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Done is closed once a drain — local or remote — has fully
+// completed; serve loops use it to exit after a POST /v1/drain.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Drain gracefully ends the service: refuse new work, abandon parked
+// interactive transactions (their clients are gone or going), wait
+// for every accepted submission to complete, close the session, and
+// retain the final monitor report. Idempotent; every call returns
+// the same outcome.
+func (s *Server) Drain(ctx context.Context) (DrainResponse, error) {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.mu.Lock()
+		open := make([]*itx, 0, len(s.itxs))
+		for _, t := range s.itxs {
+			open = append(open, t)
+		}
+		s.mu.Unlock()
+		for _, t := range open {
+			t.abandonNow()
+		}
+		if err := s.backend.Drain(ctx); err != nil {
+			s.drainErr = fmt.Errorf("drain: %w", err)
+		}
+		stats := s.backend.Stats()
+		report, err := s.backend.Close()
+		if err != nil && s.drainErr == nil {
+			s.drainErr = err
+		}
+		s.drainRes = DrainResponse{Report: report, Stats: stats}
+		if err != nil {
+			s.drainRes.Code = CodeOf(err)
+			s.drainRes.Error = err.Error()
+		}
+		close(s.done)
+	})
+	return s.drainRes, s.drainErr
+}
+
+// clientOf extracts the client identity fairness accounts against.
+func clientOf(r *http.Request) string {
+	if c := r.Header.Get(ClientHeader); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// writeErr emits the uniform error frame for err at its mapped
+// status, attaching the Retry-After hint to overload refusals.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	code := CodeOf(err)
+	s.writeCode(w, code, err.Error())
+}
+
+func (s *Server) writeCode(w http.ResponseWriter, code, msg string) {
+	resp := ErrorResponse{Code: code, Error: msg}
+	if code == CodeOverloaded {
+		resp.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
+		secs := int64(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.Header().Set("Content-Type", s.cfg.Codec.ContentType())
+	w.WriteHeader(StatusOf(code))
+	_ = s.cfg.Codec.Encode(w, resp)
+}
+
+func (s *Server) writeOK(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", s.cfg.Codec.ContentType())
+	_ = s.cfg.Codec.Encode(w, v)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := s.cfg.Codec.Decode(r.Body, v); err != nil {
+		s.writeCode(w, CodeBadRequest, "decode: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// checkProgram validates a program against the session shape.
+func (s *Server) checkProgram(worker int, ops []Op) error {
+	if worker < engine.AnyWorker {
+		return fmt.Errorf("worker %d out of range", worker)
+	}
+	if len(ops) == 0 {
+		return errors.New("empty program")
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpRead, OpWrite, OpIncr:
+		default:
+			return fmt.Errorf("op %d: unknown kind %q", i, op.Kind)
+		}
+		if op.Var < 0 || (s.cfg.Info.Vars > 0 && op.Var >= s.cfg.Info.Vars) {
+			return fmt.Errorf("op %d: var %d out of range [0,%d)", i, op.Var, s.cfg.Info.Vars)
+		}
+	}
+	return nil
+}
+
+// programBody compiles a program into a transaction body. reads is
+// reset at each attempt entry, so the values handed back always come
+// from the attempt that committed.
+func programBody(ops []Op, reads *[]int64) engine.Body {
+	return func(tx engine.Tx) error {
+		*reads = (*reads)[:0]
+		for _, op := range ops {
+			switch op.Kind {
+			case OpRead:
+				v, err := tx.Read(op.Var)
+				if err != nil {
+					return err
+				}
+				*reads = append(*reads, v)
+			case OpWrite:
+				if err := tx.Write(op.Var, op.Val); err != nil {
+					return err
+				}
+			case OpIncr:
+				v, err := tx.Read(op.Var)
+				if err != nil {
+					return err
+				}
+				if err := tx.Write(op.Var, v+op.Val); err != nil {
+					return err
+				}
+				*reads = append(*reads, v)
+			}
+		}
+		return nil
+	}
+}
+
+// execResult maps a submission's terminal error onto the wire shape.
+func execResult(err error, reads []int64) (ExecResponse, error) {
+	switch {
+	case err == nil:
+		return ExecResponse{Committed: true, Reads: reads}, nil
+	case errors.Is(err, engine.ErrNoCommit):
+		return ExecResponse{NoCommit: true}, nil
+	default:
+		return ExecResponse{}, err
+	}
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeErr(w, engine.ErrClosed)
+		return
+	}
+	var req ExecRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.checkProgram(req.Worker, req.Ops); err != nil {
+		s.writeCode(w, CodeBadRequest, err.Error())
+		return
+	}
+	client := clientOf(r)
+	if err := s.adm.acquire(client); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer s.adm.release(client)
+	var reads []int64
+	err := s.backend.ExecOn(r.Context(), req.Worker, programBody(req.Ops, &reads))
+	resp, err := execResult(err, reads)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeOK(w, resp)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeErr(w, engine.ErrClosed)
+		return
+	}
+	var req ExecRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.checkProgram(req.Worker, req.Ops); err != nil {
+		s.writeCode(w, CodeBadRequest, err.Error())
+		return
+	}
+	client := clientOf(r)
+	if err := s.adm.acquire(client); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	id := "s" + strconv.FormatUint(s.idSeq.Add(1), 10)
+	p := &pendingSub{done: make(chan struct{})}
+	body := programBody(req.Ops, &p.reads)
+	err := s.backend.SubmitOn(req.Worker, body, func(res error) {
+		p.result = res
+		close(p.done)
+		s.adm.release(client)
+	})
+	if err != nil {
+		s.adm.release(client)
+		s.writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.waits[id] = p
+	s.mu.Unlock()
+	s.writeOK(w, SubmitResponse{ID: id})
+}
+
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	var req WaitRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	p := s.waits[req.ID]
+	s.mu.Unlock()
+	if p == nil {
+		s.writeCode(w, CodeNotFound, "no pending submission "+req.ID)
+		return
+	}
+	select {
+	case <-p.done:
+	case <-r.Context().Done():
+		s.writeCode(w, CodeTimeout, "wait: "+r.Context().Err().Error())
+		return
+	}
+	s.mu.Lock()
+	delete(s.waits, req.ID)
+	s.mu.Unlock()
+	resp, err := execResult(p.result, p.reads)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeOK(w, resp)
+}
+
+func (s *Server) handleTxBegin(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeErr(w, engine.ErrClosed)
+		return
+	}
+	var req BeginRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Worker < engine.AnyWorker {
+		s.writeCode(w, CodeBadRequest, fmt.Sprintf("worker %d out of range", req.Worker))
+		return
+	}
+	client := clientOf(r)
+	if err := s.adm.acquire(client); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	id := "t" + strconv.FormatUint(s.idSeq.Add(1), 10)
+	t := newItx(id, client, req.Worker)
+	s.mu.Lock()
+	s.itxs[id] = t
+	s.mu.Unlock()
+	err := s.backend.SubmitOn(req.Worker, t.body, func(res error) {
+		t.finished(res)
+		s.mu.Lock()
+		delete(s.itxs, id)
+		s.mu.Unlock()
+		s.adm.release(client)
+	})
+	if err != nil {
+		s.mu.Lock()
+		delete(s.itxs, id)
+		s.mu.Unlock()
+		s.adm.release(client)
+		s.writeErr(w, err)
+		return
+	}
+	s.writeOK(w, BeginResponse{Txn: id})
+}
+
+// lookupItx finds an open interactive transaction.
+func (s *Server) lookupItx(id string) *itx {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.itxs[id]
+}
+
+func (s *Server) handleTxOp(w http.ResponseWriter, r *http.Request) {
+	var req TxOpRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	t := s.lookupItx(req.Txn)
+	if t == nil {
+		s.writeCode(w, CodeNotFound, "no open transaction "+req.Txn)
+		return
+	}
+	var kind int
+	switch req.Op.Kind {
+	case OpRead:
+		kind = icRead
+	case OpWrite:
+		kind = icWrite
+	default:
+		s.writeCode(w, CodeBadRequest, "interactive op must be read or write, got "+req.Op.Kind)
+		return
+	}
+	if req.Op.Var < 0 || (s.cfg.Info.Vars > 0 && req.Op.Var >= s.cfg.Info.Vars) {
+		s.writeCode(w, CodeBadRequest,
+			fmt.Sprintf("var %d out of range [0,%d)", req.Op.Var, s.cfg.Info.Vars))
+		return
+	}
+	t.opMu.Lock()
+	defer t.opMu.Unlock()
+	c := &icmd{kind: kind, varIx: req.Op.Var, val: req.Op.Val, reply: make(chan ireply, 1)}
+	select {
+	case t.cmds <- c:
+	case <-t.complete:
+		s.writeTerminal(w, t.result)
+		return
+	case <-r.Context().Done():
+		s.writeCode(w, CodeTimeout, "tx op: "+r.Context().Err().Error())
+		return
+	}
+	select {
+	case rep := <-c.reply:
+		s.writeOK(w, TxOpResponse{Val: rep.val, Aborted: rep.err != nil})
+	case <-t.complete:
+		s.writeTerminal(w, t.result)
+	}
+}
+
+// writeTerminal reports an op against a transaction that turned out
+// to be already over (abandoned under it, or the session closed).
+func (s *Server) writeTerminal(w http.ResponseWriter, res error) {
+	if res == nil {
+		// A committed transaction has no business receiving further
+		// ops; the id simply no longer exists.
+		s.writeCode(w, CodeNotFound, "transaction already finished")
+		return
+	}
+	s.writeErr(w, res)
+}
+
+func (s *Server) handleTxFinish(w http.ResponseWriter, r *http.Request) {
+	var req TxFinishRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	t := s.lookupItx(req.Txn)
+	if t == nil {
+		s.writeCode(w, CodeNotFound, "no open transaction "+req.Txn)
+		return
+	}
+	switch req.Mode {
+	case FinishAbandon:
+		t.abandonNow()
+		select {
+		case <-t.complete:
+		case <-r.Context().Done():
+			s.writeCode(w, CodeTimeout, "abandon: "+r.Context().Err().Error())
+			return
+		}
+		s.writeOK(w, TxFinishResponse{Code: CodeOf(t.result)})
+		return
+	case FinishCommit, FinishNoCommit:
+	default:
+		s.writeCode(w, CodeBadRequest, "unknown finish mode "+req.Mode)
+		return
+	}
+	kind := icFinish
+	if req.Mode == FinishNoCommit {
+		kind = icNoCommit
+	}
+	t.opMu.Lock()
+	defer t.opMu.Unlock()
+	t.drainEntered()
+	c := &icmd{kind: kind, reply: make(chan ireply, 1)}
+	select {
+	case t.cmds <- c:
+	case <-t.complete:
+		s.writeFinish(w, t.result)
+		return
+	case <-r.Context().Done():
+		s.writeCode(w, CodeTimeout, "finish: "+r.Context().Err().Error())
+		return
+	}
+	var handed ireply
+	select {
+	case handed = <-c.reply:
+	case <-t.complete:
+		s.writeFinish(w, t.result)
+		return
+	}
+	// The body returned; the engine is now committing (or, for
+	// nocommit, completing the round). Either the submission reaches
+	// its terminal result, or the retry loop re-enters the body — a
+	// pulse on entered with a higher attempt means the commit aborted
+	// and the transaction is open again.
+	for {
+		select {
+		case <-t.complete:
+			s.writeFinish(w, t.result)
+			return
+		case <-t.entered:
+			if t.attempt.Load() > handed.attempt {
+				s.writeOK(w, TxFinishResponse{Retrying: true})
+				return
+			}
+		case <-r.Context().Done():
+			s.writeCode(w, CodeTimeout, "finish: "+r.Context().Err().Error())
+			return
+		}
+	}
+}
+
+// writeFinish maps a terminal submission result onto the finish
+// frame.
+func (s *Server) writeFinish(w http.ResponseWriter, res error) {
+	switch {
+	case res == nil:
+		s.writeOK(w, TxFinishResponse{Committed: true})
+	case errors.Is(res, engine.ErrNoCommit):
+		s.writeOK(w, TxFinishResponse{Code: CodeNoCommit})
+	case errors.Is(res, errAbandoned):
+		s.writeOK(w, TxFinishResponse{Code: CodeAbandoned})
+	default:
+		s.writeErr(w, res)
+	}
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	s.writeOK(w, s.cfg.Info)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeOK(w, s.backend.Stats())
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Drain(r.Context())
+	if err != nil && res.Code == "" {
+		res.Code = CodeOf(err)
+		res.Error = err.Error()
+	}
+	s.writeOK(w, res)
+}

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"livetm/internal/engine"
+	"livetm/internal/telemetry"
+)
+
+// openBackend opens a plain native session for wire tests.
+func openBackend(t *testing.T, cfg engine.SessionConfig) *engine.Session {
+	t.Helper()
+	if cfg.Engine == "" {
+		cfg.Engine = "native-tl2"
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Vars == 0 {
+		cfg.Vars = 4
+	}
+	s, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatalf("open session: %v", err)
+	}
+	return s
+}
+
+// testServer wires a Server over a fresh session behind httptest.
+func testServer(t *testing.T, scfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	sess := openBackend(t, engine.SessionConfig{})
+	if scfg.Info == (InfoResponse{}) {
+		scfg.Info = InfoResponse{Engine: sess.Name(), Workers: 2, Vars: 4}
+	}
+	srv := New(sess, scfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _ = srv.Drain(ctx)
+	})
+	return srv, hs
+}
+
+// post sends one wire frame and decodes the response body into out,
+// returning the HTTP status.
+func post(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	return postAs(t, url, "", in, out)
+}
+
+func postAs(t *testing.T, url, client string, in, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := (JSONCodec{}).Encode(&buf, in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, &buf)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if client != "" {
+		req.Header.Set(ClientHeader, client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("post %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := (JSONCodec{}).Decode(resp.Body, out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestExecProgram(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	var resp ExecResponse
+	status := post(t, hs.URL+"/v1/exec", ExecRequest{
+		Worker: engine.AnyWorker,
+		Ops: []Op{
+			{Kind: OpWrite, Var: 0, Val: 41},
+			{Kind: OpIncr, Var: 0, Val: 1},
+			{Kind: OpRead, Var: 0},
+		},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("exec status = %d", status)
+	}
+	if !resp.Committed {
+		t.Fatalf("exec did not commit: %+v", resp)
+	}
+	if len(resp.Reads) != 2 || resp.Reads[0] != 41 || resp.Reads[1] != 42 {
+		t.Fatalf("reads = %v, want [41 42]", resp.Reads)
+	}
+}
+
+func TestExecBadProgram(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	var er ErrorResponse
+	status := post(t, hs.URL+"/v1/exec", ExecRequest{
+		Worker: engine.AnyWorker,
+		Ops:    []Op{{Kind: OpRead, Var: 99}},
+	}, &er)
+	if status != http.StatusBadRequest || er.Code != CodeBadRequest {
+		t.Fatalf("out-of-range var: status %d code %q", status, er.Code)
+	}
+	status = post(t, hs.URL+"/v1/exec", ExecRequest{
+		Worker: engine.AnyWorker,
+		Ops:    []Op{{Kind: "frob", Var: 0}},
+	}, &er)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown kind: status %d", status)
+	}
+}
+
+func TestSubmitWait(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	var sub SubmitResponse
+	status := post(t, hs.URL+"/v1/submit", ExecRequest{
+		Worker: engine.AnyWorker,
+		Ops:    []Op{{Kind: OpIncr, Var: 1, Val: 7}},
+	}, &sub)
+	if status != http.StatusOK || sub.ID == "" {
+		t.Fatalf("submit: status %d id %q", status, sub.ID)
+	}
+	var res ExecResponse
+	status = post(t, hs.URL+"/v1/wait", WaitRequest{ID: sub.ID}, &res)
+	if status != http.StatusOK || !res.Committed {
+		t.Fatalf("wait: status %d resp %+v", status, res)
+	}
+	// A second wait on the same id is a 404: the result is consumed.
+	var er ErrorResponse
+	if status = post(t, hs.URL+"/v1/wait", WaitRequest{ID: sub.ID}, &er); status != http.StatusNotFound {
+		t.Fatalf("re-wait status = %d", status)
+	}
+}
+
+func TestInteractiveCommit(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	var begin BeginResponse
+	if status := post(t, hs.URL+"/v1/tx/begin", BeginRequest{Worker: 0}, &begin); status != http.StatusOK {
+		t.Fatalf("begin status = %d", status)
+	}
+	var opResp TxOpResponse
+	status := post(t, hs.URL+"/v1/tx/op", TxOpRequest{
+		Txn: begin.Txn, Op: Op{Kind: OpWrite, Var: 2, Val: 13},
+	}, &opResp)
+	if status != http.StatusOK || opResp.Aborted {
+		t.Fatalf("write: status %d resp %+v", status, opResp)
+	}
+	status = post(t, hs.URL+"/v1/tx/op", TxOpRequest{
+		Txn: begin.Txn, Op: Op{Kind: OpRead, Var: 2},
+	}, &opResp)
+	if status != http.StatusOK || opResp.Val != 13 {
+		t.Fatalf("read: status %d resp %+v", status, opResp)
+	}
+	var fin TxFinishResponse
+	status = post(t, hs.URL+"/v1/tx/finish", TxFinishRequest{Txn: begin.Txn, Mode: FinishCommit}, &fin)
+	if status != http.StatusOK || !fin.Committed || fin.Retrying {
+		t.Fatalf("finish: status %d resp %+v", status, fin)
+	}
+	// The committed value is visible to a fresh program.
+	var res ExecResponse
+	post(t, hs.URL+"/v1/exec", ExecRequest{Worker: engine.AnyWorker, Ops: []Op{{Kind: OpRead, Var: 2}}}, &res)
+	if len(res.Reads) != 1 || res.Reads[0] != 13 {
+		t.Fatalf("post-commit read = %v, want [13]", res.Reads)
+	}
+}
+
+func TestInteractiveNoCommitAndAbandon(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	var begin BeginResponse
+	post(t, hs.URL+"/v1/tx/begin", BeginRequest{Worker: 0}, &begin)
+	var fin TxFinishResponse
+	status := post(t, hs.URL+"/v1/tx/finish", TxFinishRequest{Txn: begin.Txn, Mode: FinishNoCommit}, &fin)
+	if status != http.StatusOK || fin.Committed || fin.Code != CodeNoCommit {
+		t.Fatalf("nocommit finish: status %d resp %+v", status, fin)
+	}
+
+	post(t, hs.URL+"/v1/tx/begin", BeginRequest{Worker: 1}, &begin)
+	var opResp TxOpResponse
+	post(t, hs.URL+"/v1/tx/op", TxOpRequest{Txn: begin.Txn, Op: Op{Kind: OpWrite, Var: 0, Val: 1}}, &opResp)
+	status = post(t, hs.URL+"/v1/tx/finish", TxFinishRequest{Txn: begin.Txn, Mode: FinishAbandon}, &fin)
+	if status != http.StatusOK || fin.Code != CodeAbandoned {
+		t.Fatalf("abandon finish: status %d resp %+v", status, fin)
+	}
+	// The id is gone afterwards.
+	var er ErrorResponse
+	if status = post(t, hs.URL+"/v1/tx/op", TxOpRequest{Txn: begin.Txn, Op: Op{Kind: OpRead, Var: 0}}, &er); status != http.StatusNotFound {
+		t.Fatalf("op after abandon: status %d", status)
+	}
+}
+
+func TestAdmissionOverload(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	_, hs := testServer(t, Config{MaxInflight: 1, RetryAfter: 80 * time.Millisecond, Registry: reg,
+		Info: InfoResponse{Engine: "native-tl2", Workers: 2, Vars: 4}})
+	// One interactive transaction occupies the only slot...
+	var begin BeginResponse
+	if status := postAs(t, hs.URL+"/v1/tx/begin", "greedy", BeginRequest{Worker: 0}, &begin); status != http.StatusOK {
+		t.Fatalf("begin status = %d", status)
+	}
+	// ...so both the same client and a second one are refused with 429.
+	var buf bytes.Buffer
+	_ = (JSONCodec{}).Encode(&buf, ExecRequest{Worker: engine.AnyWorker, Ops: []Op{{Kind: OpRead, Var: 0}}})
+	req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/exec", &buf)
+	req.Header.Set(ClientHeader, "greedy")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded exec status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After header")
+	}
+	var er ErrorResponse
+	if err := (JSONCodec{}).Decode(resp.Body, &er); err != nil {
+		t.Fatalf("decode 429 body: %v", err)
+	}
+	if er.Code != CodeOverloaded || er.RetryAfterMS != 80 {
+		t.Fatalf("429 body = %+v", er)
+	}
+	if errors.Is(SentinelOf(er.Code), engine.ErrOverloaded) == false {
+		t.Fatalf("code %q does not map back to ErrOverloaded", er.Code)
+	}
+	// The per-client instruments moved.
+	snap := reg.Snapshot()
+	found := false
+	for _, fam := range snap.Families {
+		if fam.Name == "livetm_server_rejected_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("livetm_server_rejected_total not registered; families: %+v", snap.Families)
+	}
+	// Freeing the slot readmits.
+	var fin TxFinishResponse
+	post(t, hs.URL+"/v1/tx/finish", TxFinishRequest{Txn: begin.Txn, Mode: FinishAbandon}, &fin)
+	var res ExecResponse
+	if status := postAs(t, hs.URL+"/v1/exec", "greedy", ExecRequest{Worker: engine.AnyWorker, Ops: []Op{{Kind: OpRead, Var: 0}}}, &res); status != http.StatusOK {
+		t.Fatalf("exec after release: status %d", status)
+	}
+}
+
+func TestAdmissionFairShare(t *testing.T) {
+	a := newAdmission(4, nil)
+	must := func(client string) {
+		t.Helper()
+		if err := a.acquire(client); err != nil {
+			t.Fatalf("acquire(%s): %v", client, err)
+		}
+	}
+	must("a")
+	must("b")
+	must("a") // a at 2 = its share of 4 between 2 actives
+	if err := a.acquire("a"); !errors.Is(err, engine.ErrOverloaded) {
+		t.Fatalf("a's 3rd acquire = %v, want ErrOverloaded", err)
+	}
+	must("b") // b still gets its share while a is refused
+	a.release("a")
+	a.release("a")
+	a.release("b")
+	a.release("b")
+	if n := a.inflightTotal(); n != 0 {
+		t.Fatalf("inflight after release = %d", n)
+	}
+}
+
+func TestDrainRefusesAndReports(t *testing.T) {
+	srv, hs := testServer(t, Config{})
+	var begin BeginResponse
+	post(t, hs.URL+"/v1/tx/begin", BeginRequest{Worker: 0}, &begin)
+	var dr DrainResponse
+	if status := post(t, hs.URL+"/v1/drain", struct{}{}, &dr); status != http.StatusOK {
+		t.Fatalf("drain status = %d", status)
+	}
+	if dr.Stats.Submitted == 0 {
+		t.Fatalf("drain stats empty: %+v", dr.Stats)
+	}
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatalf("Done not closed after drain")
+	}
+	var er ErrorResponse
+	if status := post(t, hs.URL+"/v1/exec", ExecRequest{Worker: engine.AnyWorker, Ops: []Op{{Kind: OpRead, Var: 0}}}, &er); status != http.StatusServiceUnavailable || er.Code != CodeClosed {
+		t.Fatalf("exec after drain: status %d code %q", status, er.Code)
+	}
+}
+
+func TestWireCodeTables(t *testing.T) {
+	cases := []struct {
+		err    error
+		code   string
+		status int
+	}{
+		{engine.ErrOverloaded, CodeOverloaded, http.StatusTooManyRequests},
+		{engine.ErrClosed, CodeClosed, http.StatusServiceUnavailable},
+		{engine.ErrStopped, CodeStopped, http.StatusServiceUnavailable},
+		{engine.ErrStepBudget, CodeStepBudget, http.StatusServiceUnavailable},
+		{engine.ErrBusy, CodeBusy, http.StatusConflict},
+		{engine.ErrNoCommit, CodeNoCommit, http.StatusInternalServerError},
+		{engine.ErrLiveViolation, CodeViolation, http.StatusServiceUnavailable},
+		{errAbandoned, CodeAbandoned, http.StatusInternalServerError},
+		{errors.New("surprise"), CodeInternal, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := CodeOf(c.err); got != c.code {
+			t.Errorf("CodeOf(%v) = %q, want %q", c.err, got, c.code)
+		}
+		if got := StatusOf(c.code); got != c.status {
+			t.Errorf("StatusOf(%q) = %d, want %d", c.code, got, c.status)
+		}
+	}
+	// Sentinels survive the round trip for every engine sentinel.
+	for _, err := range []error{
+		engine.ErrOverloaded, engine.ErrClosed, engine.ErrStopped,
+		engine.ErrStepBudget, engine.ErrBusy, engine.ErrNoCommit,
+		engine.ErrLiveViolation,
+	} {
+		if back := SentinelOf(CodeOf(err)); !errors.Is(back, err) {
+			t.Errorf("sentinel round trip lost %v (got %v)", err, back)
+		}
+	}
+}
