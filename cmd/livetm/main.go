@@ -59,6 +59,32 @@
 //	    the server to drain and prints the session's final monitor
 //	    report, liveness class, and per-process starvation intervals.
 //
+//	livetm loadgen -scenario FILE [-addr ADDR] [-plan] [-out FILE] [-drain] [-gate [-bench FILE]]
+//	    Drive a declarative open-loop scenario (internal/loadgen):
+//	    Poisson or bursty arrivals at fixed seed, weighted
+//	    workload-matrix cell mixes, warmup/inject/recovery phases with
+//	    adversary strategies as the inject faults, and ramp schedules
+//	    growing the worker pool under load. -addr targets a served
+//	    session (`livetm serve -listen`); without it the scenario's
+//	    session block opens an in-process one (ramps are in-process
+//	    only, faults wire-only). -plan prints the materialized
+//	    schedule — a pure function of (file, seed), byte-identical
+//	    across runs — and exits. The run emits a provenance-stamped
+//	    artifact (scenario hash, seed, plan digest, git describe,
+//	    per-phase p50/p95/p99, abort and overload-refusal rates,
+//	    fault outcomes; -drain folds in the final monitor report's
+//	    liveness class and checked-throughput); -out writes it, and
+//	    -gate evaluates the scenario's release gates immediately
+//	    (non-zero exit on failure; -bench adds the BENCH-trajectory
+//	    comparison).
+//
+//	livetm loadgen gate -artifact FILE [-bench FILE]
+//	    Re-judge a saved loadgen artifact against its embedded gates:
+//	    p99 latency, abort rate, overload-refusal rate, throughput
+//	    floor, minimum liveness class, and -bench fraction-of-
+//	    trajectory. Prints one verdict line per gate; exits non-zero
+//	    if any gate fails — the CI regression gate.
+//
 //	livetm adversary [-tm NAME | -engine NAME | -matrix] [-alg 1|2] [-crash] [-parasitic] [-rounds N] [-out FILE] [-artifact FILE]
 //	    Run the Theorem 1 environment strategy against a TM and print
 //	    the resulting history suffix (Figures 9, 10, 12, 13). -tm picks
@@ -168,6 +194,7 @@ import (
 	"livetm/internal/explore"
 	"livetm/internal/fgp"
 	"livetm/internal/liveness"
+	"livetm/internal/loadgen"
 	"livetm/internal/model"
 	"livetm/internal/monitor"
 	"livetm/internal/native"
@@ -197,6 +224,7 @@ var subcommands = []struct {
 	{"run", cmdRun},
 	{"serve", cmdServe},
 	{"client", cmdClient},
+	{"loadgen", cmdLoadgen},
 	{"check", cmdCheck},
 	{"classify", cmdClassify},
 	{"adversary", cmdAdversary},
@@ -1301,6 +1329,7 @@ func cmdClient(args []string) error {
 				cc := client.New(client.Config{Addr: *addr, Name: fmt.Sprintf("%s-%d", ident, id)})
 				v := id % info.Vars
 				prog := []server.Op{{Kind: server.OpIncr, Var: v, Val: 1}}
+				var backoff client.Backoff
 				for n := 0; n < *ops; n++ {
 					for {
 						res, err := cc.Exec(ctx, engine.AnyWorker, prog)
@@ -1308,17 +1337,15 @@ func cmdClient(args []string) error {
 							if res.Committed {
 								committed.Add(1)
 							}
+							backoff.Reset()
 							break
 						}
 						var werr *client.Error
 						if errors.Is(err, engine.ErrOverloaded) && errors.As(err, &werr) {
-							// The 429 path: honour the server's hint.
+							// The 429 path: the server's hint floors the
+							// wait, jitter above it de-herds the retries.
 							retries.Add(1)
-							wait := werr.RetryAfter
-							if wait <= 0 {
-								wait = 10 * time.Millisecond
-							}
-							time.Sleep(wait)
+							time.Sleep(backoff.Next(werr.RetryAfter))
 							continue
 						}
 						errc <- fmt.Errorf("connection %d: %w", id, err)
@@ -1371,6 +1398,174 @@ func cmdClient(args []string) error {
 		if res.Code != "" {
 			return fmt.Errorf("client: server closed with %s: %s", res.Code, res.Error)
 		}
+	}
+	return nil
+}
+
+// cmdLoadgen drives a declarative open-loop scenario against an
+// in-process session or a served one, emits the provenance-stamped
+// artifact, and optionally evaluates the release gates in place. The
+// "gate" word re-judges a saved artifact instead (the CI entry
+// point).
+func cmdLoadgen(args []string) error {
+	if len(args) > 0 && args[0] == "gate" {
+		return cmdLoadgenGate(args[1:])
+	}
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	scenarioFile := fs.String("scenario", "", "scenario JSON file (required; see internal/loadgen's package docs for the schema)")
+	addr := fs.String("addr", "", "address of a served session (livetm serve -listen); empty opens the scenario's in-process session block")
+	planOnly := fs.Bool("plan", false, "print the materialized arrival schedule (deterministic JSON) and exit without running")
+	out := fs.String("out", "", "write the run artifact JSON to this file")
+	drainFlag := fs.Bool("drain", false, "drain the wire target after the run so the artifact carries the final monitor report (in-process runs always close and fold it)")
+	ident := fs.String("name", "loadgen", "client identity prefix; arrivals rotate through <name>-0..<clients-1>")
+	gateFlag := fs.Bool("gate", false, "evaluate the scenario's gates against the artifact; non-zero exit on failure")
+	benchFile := fs.String("bench", "", "BENCH artifact (BENCH_native.json) for the trajectory gate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scenarioFile == "" {
+		return fmt.Errorf("loadgen: -scenario is required")
+	}
+	sc, hash, err := loadgen.Load(*scenarioFile)
+	if err != nil {
+		return err
+	}
+	if *planOnly {
+		plan, err := sc.Plan()
+		if err != nil {
+			return err
+		}
+		b, err := plan.Encode()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var art *loadgen.Artifact
+	if *addr != "" {
+		c := client.New(client.Config{Addr: *addr, Name: *ident})
+		tgt, err := loadgen.NewWireTarget(ctx, c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: scenario %s (seed %d) against %s, %d workers, %d vars\n",
+			sc.Name, sc.Seed, *addr, tgt.Workers(), tgt.Vars())
+		if art, err = loadgen.Run(ctx, tgt, sc, hash, loadgen.Options{ClientPrefix: *ident}); err != nil {
+			return err
+		}
+		if *drainFlag {
+			dctx, cancel := context.WithTimeout(ctx, time.Minute)
+			res, derr := c.Drain(dctx)
+			cancel()
+			if derr != nil {
+				return fmt.Errorf("loadgen: drain: %w", derr)
+			}
+			art.AttachReport(res.Report)
+		}
+	} else {
+		if sc.Session == nil {
+			return fmt.Errorf("loadgen: scenario %s has no session block; give -addr or add one", sc.Name)
+		}
+		ses := sc.Session
+		sess, err := engine.Open(engine.SessionConfig{
+			Engine: ses.Engine, Workers: ses.Workers, MaxWorkers: ses.MaxWorkers,
+			Vars: ses.Vars, MaxQueue: ses.MaxQueue, Live: ses.Live, Shards: ses.Shards,
+			Record: ses.Live,
+		})
+		if err != nil {
+			return fmt.Errorf("loadgen: open session: %w", err)
+		}
+		tgt := &loadgen.SessionTarget{S: sess, NVars: ses.Vars}
+		fmt.Printf("loadgen: scenario %s (seed %d) in process on %s, %d workers, %d vars\n",
+			sc.Name, sc.Seed, sess.Name(), tgt.Workers(), tgt.Vars())
+		art, err = loadgen.Run(ctx, tgt, sc, hash, loadgen.Options{ClientPrefix: *ident})
+		rep, cerr := sess.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			fmt.Printf("loadgen: session close: %v\n", cerr)
+		}
+		art.AttachReport(rep)
+	}
+
+	for _, p := range art.Phases {
+		line := fmt.Sprintf("loadgen: phase %-10s planned=%d dispatched=%d committed=%d p50=%.1fms p95=%.1fms p99=%.1fms abort=%.3f refusal=%.3f",
+			p.Name, p.Planned, p.Dispatched, p.Committed, p.P50MS, p.P95MS, p.P99MS, p.AbortRate, p.RefusalRate)
+		if p.Shed+p.Dropped+p.Errors > 0 {
+			line += fmt.Sprintf(" shed=%d dropped=%d errors=%d", p.Shed, p.Dropped, p.Errors)
+		}
+		if p.FaultOutcome != nil {
+			line += fmt.Sprintf(" fault=%s runs=%d rounds=%d violations=%d",
+				p.FaultOutcome.Strategy, p.FaultOutcome.Runs, p.FaultOutcome.Rounds, p.FaultOutcome.Violations)
+		}
+		fmt.Println(line)
+	}
+	if art.LivenessClass != "" {
+		fmt.Printf("loadgen: liveness class: %s (checked=%v, checked-throughput=%.1f/s)\n",
+			art.LivenessClass, art.Checked, art.CheckedThroughput)
+	}
+	if *out != "" {
+		if err := art.Write(*out); err != nil {
+			return fmt.Errorf("loadgen: write artifact: %w", err)
+		}
+		fmt.Printf("loadgen: artifact written to %s\n", *out)
+	}
+	if *gateFlag {
+		if art.Gates == nil {
+			return fmt.Errorf("loadgen: -gate set but scenario %s declares no gates", sc.Name)
+		}
+		return printGateVerdicts(loadgen.Evaluate(art, *art.Gates, *benchFile))
+	}
+	return nil
+}
+
+// cmdLoadgenGate re-judges a saved artifact against its embedded
+// gates — the CI regression gate.
+func cmdLoadgenGate(args []string) error {
+	fs := flag.NewFlagSet("loadgen gate", flag.ContinueOnError)
+	artifactFile := fs.String("artifact", "", "loadgen artifact JSON (required)")
+	benchFile := fs.String("bench", "", "BENCH artifact (BENCH_native.json) for the trajectory gate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *artifactFile == "" {
+		return fmt.Errorf("loadgen gate: -artifact is required")
+	}
+	art, err := loadgen.LoadArtifact(*artifactFile)
+	if err != nil {
+		return err
+	}
+	if art.Gates == nil {
+		return fmt.Errorf("loadgen gate: artifact %s carries no gates", *artifactFile)
+	}
+	fmt.Printf("loadgen gate: %s (scenario %s, seed %d, %s)\n",
+		*artifactFile, art.Scenario, art.Seed, art.GitDescribe)
+	return printGateVerdicts(loadgen.Evaluate(art, *art.Gates, *benchFile))
+}
+
+// printGateVerdicts prints one line per gate and errors if any
+// failed (the subcommands' non-zero exit).
+func printGateVerdicts(results []loadgen.GateResult) error {
+	failed := 0
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("loadgen gate: %-4s %-16s %s\n", verdict, r.Gate, r.Detail)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("loadgen gate: no gates evaluated")
+	}
+	if failed > 0 {
+		return fmt.Errorf("loadgen gate: %d/%d gates failed", failed, len(results))
 	}
 	return nil
 }

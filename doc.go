@@ -27,7 +27,9 @@
 // remote drain) behind a pluggable Codec, with per-client fair
 // admission — a hard in-flight cap split fairly among active clients,
 // refusing with ErrOverloaded/429 plus a Retry-After hint instead of
-// queueing. internal/client is the matching Go client; engine error
+// queueing, evicting idle client accounts after a grace period so
+// ephemeral client names cannot grow server state without bound.
+// internal/client is the matching Go client; engine error
 // sentinels round-trip the wire as stable codes, so errors.Is works
 // on both ends. `livetm serve -listen` serves a session remotely
 // (telemetry on the same listener), `livetm client` drives it — load
@@ -86,6 +88,22 @@
 // instruments backing Stats alone, and the instrumented-vs-bare cost
 // ratio is benchmarked and CI-gated against
 // telemetry.OverheadBudgetRatio.
+//
+// Traffic beyond the closed-loop matrix comes from the open-loop
+// scenario engine (internal/loadgen): declarative JSON scenarios —
+// Poisson or bursty arrivals at a fixed seed, weighted mixes of
+// workload-matrix cells compiled to wire programs, warmup/inject/
+// recovery phases with the Theorem 1 adversaries as inject faults,
+// and ramp schedules growing the worker pool under load — drive an
+// in-process session or a served one through the same Target surface,
+// with jittered, hint-flooring retry backoff (client.Backoff) on
+// overload refusals. The whole schedule is a pure function of
+// (scenario file, seed); each run emits a provenance-stamped artifact
+// (scenario hash, plan digest, git describe, per-phase p50/p95/p99,
+// abort and refusal rates, fault outcomes, liveness class,
+// checked-throughput) that `livetm loadgen gate` judges against the
+// scenario's release gates and the BENCH trajectory — the CI
+// regression gate.
 //
 // The impossibility adversaries are substrate-agnostic too: the
 // strategy logic of Algorithms 1 and 2 (internal/adversary) runs once

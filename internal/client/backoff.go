@@ -1,0 +1,104 @@
+package client
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// backoffSeq distinguishes zero-value Backoffs created in the same
+// clock tick, so no two default-seeded instances share a jitter
+// stream.
+var backoffSeq atomic.Uint64
+
+// Backoff computes the wait before retrying an overload-refused
+// submission. Sleeping exactly the server's Retry-After puts every
+// refused client on the same wake-up tick, re-colliding on the same
+// fair-share window forever (the lockstep retry herd); Backoff breaks
+// the herd by treating the hint as a floor, growing it exponentially
+// on consecutive refusals up to Cap, and spreading wake-ups with
+// bounded random jitter above the floor. Not safe for concurrent use:
+// keep one instance per submission loop.
+type Backoff struct {
+	// Base is the floor used when the server sends no Retry-After
+	// hint. 0 defaults to 10ms.
+	Base time.Duration
+	// Cap bounds the exponential growth of the pre-jitter wait. 0
+	// defaults to 2s. The server's hint still floors the wait even
+	// when it exceeds Cap.
+	Cap time.Duration
+	// Jitter is the fraction of the grown wait added as a uniform
+	// random extra, in (0, 1]; 0 defaults to 0.5. Jitter only ever
+	// adds, so the wait never undercuts the server's hint.
+	Jitter float64
+	// Seed pins the jitter stream for reproducibility. 0 (the useful
+	// default) seeds from the clock mixed with a process-wide
+	// sequence, so concurrent zero-value Backoffs draw from distinct
+	// streams.
+	Seed uint64
+
+	refusals int
+	seeded   bool
+	state    uint64
+}
+
+// next64 steps the instance's splitmix64 stream, seeding it lazily.
+func (b *Backoff) next64() uint64 {
+	if !b.seeded {
+		seed := b.Seed
+		if seed == 0 {
+			seed = uint64(time.Now().UnixNano()) ^ (backoffSeq.Add(1) * 0x9e3779b97f4a7c15)
+		}
+		b.state = seed
+		b.seeded = true
+	}
+	b.state += 0x9e3779b97f4a7c15
+	z := b.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Next returns the wait before the next retry, given the server's
+// Retry-After hint (≤ 0 when the refusal carried none). The wait is
+// floor + uniform[0, floor·Jitter), where floor is the hint (or Base)
+// doubled per consecutive refusal up to Cap — but never below the
+// hint itself. Call Reset after an accepted submission.
+func (b *Backoff) Next(hint time.Duration) time.Duration {
+	base := hint
+	if base <= 0 {
+		base = b.Base
+		if base <= 0 {
+			base = 10 * time.Millisecond
+		}
+	}
+	shift := b.refusals
+	if shift > 16 {
+		shift = 16
+	}
+	b.refusals++
+	w := base << shift
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	if w > cap || w <= 0 { // w ≤ 0 catches shift overflow
+		w = cap
+	}
+	if w < base {
+		w = base // the server's hint floors the wait even past Cap
+	}
+	j := b.Jitter
+	if j <= 0 {
+		j = 0.5
+	} else if j > 1 {
+		j = 1
+	}
+	if span := time.Duration(float64(w) * j); span > 0 {
+		w += time.Duration(b.next64() % uint64(span))
+	}
+	return w
+}
+
+// Reset clears the consecutive-refusal growth; call it once a
+// submission is accepted.
+func (b *Backoff) Reset() { b.refusals = 0 }

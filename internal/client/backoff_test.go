@@ -1,0 +1,91 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffNoLockstep is the herd regression test: two zero-value
+// Backoffs fed the same Retry-After hint — exactly the state of two
+// refused clients — must not produce the same wait sequence, i.e.
+// they do not retry in the same tick.
+func TestBackoffNoLockstep(t *testing.T) {
+	var a, b Backoff
+	hint := 50 * time.Millisecond
+	same := true
+	for i := 0; i < 4; i++ {
+		if a.Next(hint) != b.Next(hint) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("two independent Backoffs produced identical 4-wait sequences (lockstep herd)")
+	}
+}
+
+// TestBackoffHonorsHintFloor asserts jitter only ever adds: the wait
+// never undercuts the server's Retry-After, even when the hint
+// exceeds Cap.
+func TestBackoffHonorsHintFloor(t *testing.T) {
+	b := Backoff{Cap: 100 * time.Millisecond}
+	for i := 0; i < 20; i++ {
+		hint := time.Duration(i+1) * 40 * time.Millisecond
+		if w := b.Next(hint); w < hint {
+			t.Fatalf("refusal %d: wait %v under hint %v", i, w, hint)
+		}
+	}
+}
+
+// TestBackoffGrowthAndCap pins the envelope: with a fixed seed the
+// i-th wait lies in [floor, floor·(1+Jitter)) where floor doubles per
+// refusal and saturates at Cap, and Reset restarts the growth.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Seed: 7, Cap: 160 * time.Millisecond, Jitter: 0.5}
+	hint := 20 * time.Millisecond
+	for i, floor := range []time.Duration{
+		20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond,
+		160 * time.Millisecond, 160 * time.Millisecond, // saturated at Cap
+	} {
+		w := b.Next(hint)
+		if w < floor || w >= floor+floor/2 {
+			t.Fatalf("refusal %d: wait %v outside [%v, %v)", i, w, floor, floor+floor/2)
+		}
+	}
+	b.Reset()
+	if w := b.Next(hint); w >= 30*time.Millisecond {
+		t.Fatalf("post-Reset wait %v did not restart from the hint", w)
+	}
+	// No hint falls back to Base.
+	nb := Backoff{Seed: 3, Base: 8 * time.Millisecond}
+	if w := nb.Next(0); w < 8*time.Millisecond || w >= 12*time.Millisecond {
+		t.Fatalf("hintless wait %v outside [8ms, 12ms)", w)
+	}
+}
+
+// TestBackoffSeedDeterminism: an explicit seed pins the whole wait
+// sequence, which is what lets the loadgen's retry timing be replayed.
+func TestBackoffSeedDeterminism(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		b := Backoff{Seed: seed}
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = b.Next(25 * time.Millisecond)
+		}
+		return out
+	}
+	a, b, c := mk(42), mk(42), mk(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatalf("different seeds produced identical sequences")
+	}
+}

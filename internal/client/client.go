@@ -84,6 +84,17 @@ func New(cfg Config) *Client {
 	return &Client{base: base, name: cfg.Name, codec: codec, hc: hc}
 }
 
+// WithName returns a client identical to c but presenting name as its
+// wire identity (X-Livetm-Client). The transport and connection pool
+// are shared, so fanning one physical client out into many admission
+// identities — the loadgen's client-churn mode — costs nothing per
+// name.
+func (c *Client) WithName(name string) *Client {
+	cc := *c
+	cc.name = name
+	return &cc
+}
+
 // do posts one frame and decodes the reply; non-2xx replies decode
 // into *Error.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {

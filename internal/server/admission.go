@@ -2,10 +2,16 @@ package server
 
 import (
 	"sync"
+	"time"
 
 	"livetm/internal/engine"
 	"livetm/internal/telemetry"
 )
+
+// evictedClient labels the aggregate series that absorbs the final
+// counter values of evicted clients, so family totals stay monotone
+// across evictions even though per-client series come and go.
+const evictedClient = "(evicted)"
 
 // admission is the server's slot accountant. Every submission —
 // blocking exec, async submit, interactive transaction — holds one
@@ -15,12 +21,28 @@ import (
 // so a flooding client hits its share while a light one is still
 // admitted. Refusal is immediate and never blocks: the caller turns
 // it into ErrOverloaded / HTTP 429 with a Retry-After hint.
+//
+// Per-client accounts are evicted once they have been idle (zero in
+// flight, no acquire attempts) for idleAfter, bounding both the
+// clients map and the telemetry registry under workloads with
+// ephemeral client names; the retiring counters are folded into a
+// client="(evicted)" aggregate first, so registry family totals stay
+// monotone. A release with no matching account (or none in flight) is
+// a protocol anomaly, counted rather than silently dropped.
 type admission struct {
-	mu      sync.Mutex
-	max     int
-	total   int
-	clients map[string]*clientSlots
-	reg     *telemetry.Registry
+	mu        sync.Mutex
+	max       int
+	total     int
+	clients   map[string]*clientSlots
+	reg       *telemetry.Registry
+	idleAfter time.Duration
+	lastSweep time.Time
+	now       func() time.Time // injectable clock for eviction tests
+
+	cUnknown    *telemetry.Counter // releases with no matching acquire
+	cEvicted    *telemetry.Counter // client accounts evicted as idle
+	evRejected  *telemetry.Counter // fold target for evicted rejected counts
+	evRetryHint *telemetry.Counter // fold target for evicted retry hints
 }
 
 // clientSlots is one client's admission account and its per-client
@@ -29,13 +51,38 @@ type admission struct {
 // accounting path carries no nil checks.
 type clientSlots struct {
 	inflight   int
+	idleAt     time.Time // last acquire attempt or drop to zero in flight
 	gInflight  *telemetry.Gauge
 	cRejected  *telemetry.Counter
 	cRetryHint *telemetry.Counter
 }
 
-func newAdmission(max int, reg *telemetry.Registry) *admission {
-	return &admission{max: max, clients: make(map[string]*clientSlots), reg: reg}
+// newAdmission builds the accountant. idleAfter <= 0 disables
+// eviction (callers resolve the default; see Config.ClientIdleAfter).
+func newAdmission(max int, idleAfter time.Duration, reg *telemetry.Registry) *admission {
+	a := &admission{
+		max:       max,
+		clients:   make(map[string]*clientSlots),
+		reg:       reg,
+		idleAfter: idleAfter,
+		now:       time.Now,
+	}
+	if reg != nil {
+		a.cUnknown = reg.Counter("livetm_server_release_unknown_total",
+			"Slot releases with no matching admitted client (protocol anomaly)")
+		a.cEvicted = reg.Counter("livetm_server_clients_evicted_total",
+			"Idle client admission accounts evicted")
+		a.evRejected = reg.Counter("livetm_server_rejected_total",
+			"Submissions refused by admission control per client", "client", evictedClient)
+		a.evRetryHint = reg.Counter("livetm_server_retry_after_total",
+			"Retry-After hints issued per client", "client", evictedClient)
+	} else {
+		a.cUnknown = &telemetry.Counter{}
+		a.cEvicted = &telemetry.Counter{}
+		a.evRejected = &telemetry.Counter{}
+		a.evRetryHint = &telemetry.Counter{}
+	}
+	return a
 }
 
 // slotsFor resolves (or fabricates, registry-free) the client's
@@ -69,7 +116,9 @@ func (a *admission) slotsFor(client string) *clientSlots {
 func (a *admission) acquire(client string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.sweep()
 	cs := a.slotsFor(client)
+	cs.idleAt = a.now()
 	if a.max > 0 {
 		refuse := a.total >= a.max
 		if !refuse {
@@ -94,17 +143,56 @@ func (a *admission) acquire(client string) error {
 	return nil
 }
 
-// release returns client's slot.
+// release returns client's slot. A release for a client that holds no
+// slot — unknown name, already evicted, or more releases than
+// acquires — is counted as an anomaly instead of silently ignored.
 func (a *admission) release(client string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	cs := a.clients[client]
 	if cs == nil || cs.inflight == 0 {
+		a.cUnknown.Inc()
 		return
 	}
 	cs.inflight--
 	a.total--
 	cs.gInflight.Set(int64(cs.inflight))
+	if cs.inflight == 0 {
+		cs.idleAt = a.now()
+	}
+	a.sweep()
+}
+
+// sweep evicts every account that has sat at zero in flight for at
+// least idleAfter, amortized to run at most once per idleAfter/4.
+// Final rejected/retry-hint counts fold into the "(evicted)" aggregate
+// before the per-client series leave the registry, so family totals
+// never step backward; a client that reappears later gets a fresh
+// account (its per-series counters restart at zero, the standard
+// reset semantics of a series that was retired). Callers hold a.mu.
+func (a *admission) sweep() {
+	if a.idleAfter <= 0 {
+		return
+	}
+	n := a.now()
+	if n.Sub(a.lastSweep) < a.idleAfter/4 {
+		return
+	}
+	a.lastSweep = n
+	for name, cs := range a.clients {
+		if cs.inflight != 0 || n.Sub(cs.idleAt) < a.idleAfter {
+			continue
+		}
+		a.evRejected.Add(cs.cRejected.Load())
+		a.evRetryHint.Add(cs.cRetryHint.Load())
+		if a.reg != nil {
+			a.reg.Unregister("livetm_server_inflight", "client", name)
+			a.reg.Unregister("livetm_server_rejected_total", "client", name)
+			a.reg.Unregister("livetm_server_retry_after_total", "client", name)
+		}
+		delete(a.clients, name)
+		a.cEvicted.Inc()
+	}
 }
 
 // inflightTotal reports the slots currently held (drain watches this
@@ -113,4 +201,12 @@ func (a *admission) inflightTotal() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.total
+}
+
+// clientCount reports the tracked admission accounts (diagnostic; the
+// eviction tests assert it stays bounded under ephemeral names).
+func (a *admission) clientCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.clients)
 }

@@ -41,6 +41,11 @@ type Config struct {
 	// (Retry-After header + retry_after_ms body field). 0 defaults to
 	// 50ms.
 	RetryAfter time.Duration
+	// ClientIdleAfter is the grace period after which an idle client's
+	// admission account (and its per-client telemetry series) is
+	// evicted, bounding server state under ephemeral client names. 0
+	// defaults to 30s; negative disables eviction.
+	ClientIdleAfter time.Duration
 	// Codec frames the wire bodies; nil defaults to JSONCodec.
 	Codec Codec
 	// Registry, when set, receives the per-client admission
@@ -90,10 +95,14 @@ func New(backend Backend, cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 50 * time.Millisecond
 	}
+	idle := cfg.ClientIdleAfter
+	if idle == 0 {
+		idle = 30 * time.Second
+	}
 	s := &Server{
 		cfg:     cfg,
 		backend: backend,
-		adm:     newAdmission(cfg.MaxInflight, cfg.Registry),
+		adm:     newAdmission(cfg.MaxInflight, idle, cfg.Registry),
 		mux:     http.NewServeMux(),
 		itxs:    make(map[string]*itx),
 		waits:   make(map[string]*pendingSub),
@@ -227,10 +236,12 @@ func (s *Server) checkProgram(worker int, ops []Op) error {
 	return nil
 }
 
-// programBody compiles a program into a transaction body. reads is
+// ProgramBody compiles a program into a transaction body for any
+// engine.Submitter (the wire handlers and internal/loadgen's
+// in-process target share it). reads is
 // reset at each attempt entry, so the values handed back always come
 // from the attempt that committed.
-func programBody(ops []Op, reads *[]int64) engine.Body {
+func ProgramBody(ops []Op, reads *[]int64) engine.Body {
 	return func(tx engine.Tx) error {
 		*reads = (*reads)[:0]
 		for _, op := range ops {
@@ -292,7 +303,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.adm.release(client)
 	var reads []int64
-	err := s.backend.ExecOn(r.Context(), req.Worker, programBody(req.Ops, &reads))
+	err := s.backend.ExecOn(r.Context(), req.Worker, ProgramBody(req.Ops, &reads))
 	resp, err := execResult(err, reads)
 	if err != nil {
 		s.writeErr(w, err)
@@ -321,7 +332,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id := "s" + strconv.FormatUint(s.idSeq.Add(1), 10)
 	p := &pendingSub{done: make(chan struct{})}
-	body := programBody(req.Ops, &p.reads)
+	body := ProgramBody(req.Ops, &p.reads)
 	err := s.backend.SubmitOn(req.Worker, body, func(res error) {
 		p.result = res
 		close(p.done)

@@ -259,7 +259,7 @@ func TestAdmissionOverload(t *testing.T) {
 }
 
 func TestAdmissionFairShare(t *testing.T) {
-	a := newAdmission(4, nil)
+	a := newAdmission(4, 0, nil)
 	must := func(client string) {
 		t.Helper()
 		if err := a.acquire(client); err != nil {

@@ -136,6 +136,47 @@ func (r *Registry) resolve(name, help string, k kind, kvs []string) *series {
 	return s
 }
 
+// Unregister removes the series of family name with the given
+// alternating key, value label pairs from the registry, reporting
+// whether it was present. The family itself (name, kind, help, label
+// schema) stays registered, so a later resolution with the same
+// labels starts a fresh series at zero — per-series counter resets
+// are the caller's contract to preserve monotonicity across (see
+// internal/server's admission eviction, which folds retiring values
+// into an aggregate series before unregistering). Handles already
+// held on the removed series keep working; their updates are simply
+// no longer exported.
+func (r *Registry) Unregister(name string, kvs ...string) bool {
+	if len(kvs)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: %s unregistered with odd label list %q", name, kvs))
+	}
+	labels := make([]Label, 0, len(kvs)/2)
+	for i := 0; i < len(kvs); i += 2 {
+		labels = append(labels, Label{Key: kvs[i], Value: kvs[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		return false
+	}
+	key := seriesKey(labels)
+	s := fam.byKey[key]
+	if s == nil {
+		return false
+	}
+	delete(fam.byKey, key)
+	for i, other := range fam.series {
+		if other == s {
+			fam.series = append(fam.series[:i], fam.series[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 func seriesKey(labels []Label) string {
 	var b strings.Builder
 	for _, l := range labels {

@@ -111,6 +111,42 @@ func TestRegistryHandlesAreStable(t *testing.T) {
 	}
 }
 
+func TestRegistryUnregister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("livetm_test_total", "help", "client", "eph-1")
+	keep := r.Counter("livetm_test_total", "help", "client", "keep")
+	a.Add(5)
+	keep.Add(2)
+
+	if !r.Unregister("livetm_test_total", "client", "eph-1") {
+		t.Fatalf("Unregister of a live series must report true")
+	}
+	if r.Unregister("livetm_test_total", "client", "eph-1") {
+		t.Fatalf("second Unregister of the same series must report false")
+	}
+	if r.Unregister("livetm_missing_total", "client", "eph-1") {
+		t.Fatalf("Unregister of an unknown family must report false")
+	}
+
+	snap := r.Snapshot()
+	if _, ok := snap.Value("livetm_test_total", "client", "eph-1"); ok {
+		t.Fatalf("unregistered series still exported")
+	}
+	if v, ok := snap.Value("livetm_test_total", "client", "keep"); !ok || v != 2 {
+		t.Fatalf("surviving series = %v, %v; want 2, true", v, ok)
+	}
+
+	// The family schema survives: re-resolving the same labels starts a
+	// fresh series at zero, distinct from the retired handle.
+	b := r.Counter("livetm_test_total", "help", "client", "eph-1")
+	if b == a {
+		t.Fatalf("re-resolved series must be a fresh handle")
+	}
+	if v, ok := r.Snapshot().Value("livetm_test_total", "client", "eph-1"); !ok || v != 0 {
+		t.Fatalf("re-resolved series = %v, %v; want 0, true", v, ok)
+	}
+}
+
 func TestRegistrySchemaMisusePanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("livetm_x_total", "h")
