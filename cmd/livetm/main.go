@@ -1500,7 +1500,13 @@ func cmdLoadgen(args []string) error {
 		if p.Shed+p.Dropped+p.Errors > 0 {
 			line += fmt.Sprintf(" shed=%d dropped=%d errors=%d", p.Shed, p.Dropped, p.Errors)
 		}
-		if p.FaultOutcome != nil {
+		for _, fr := range p.FaultResults {
+			line += fmt.Sprintf(" fault=%s runs=%d rounds=%d violations=%d",
+				fr.Strategy, fr.Runs, fr.Rounds, fr.Violations)
+		}
+		if len(p.FaultResults) == 0 && p.FaultOutcome != nil {
+			// Artifacts written before layered faults carry only the
+			// singular summary.
 			line += fmt.Sprintf(" fault=%s runs=%d rounds=%d violations=%d",
 				p.FaultOutcome.Strategy, p.FaultOutcome.Runs, p.FaultOutcome.Rounds, p.FaultOutcome.Violations)
 		}

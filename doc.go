@@ -105,6 +105,23 @@
 // scenario's release gates and the BENCH trajectory — the CI
 // regression gate.
 //
+// Inject phases can layer several adversary strategies at once
+// (Phase.Faults): each named strategy runs its own concurrent episode
+// loop against the same served session, producing compound failure
+// modes — a crash variant riding alongside a parasitic one — that a
+// single injector cannot; scenarios/mixed-faults.json is the CI'd
+// example, and the artifact reports one FaultResult per layer.
+//
+// The invariants the layers above rely on — typed-atomic discipline,
+// ascending lock-slice sweeps, wire round-tripping of error
+// sentinels, deterministic plan compilation, finite telemetry label
+// spaces — are enforced at compile time by internal/lint, a
+// zero-dependency static-analysis suite (go list + go/parser +
+// go/types) with five domain analyzers; `livetm-lint ./...` must be
+// clean (CI runs it, and also asserts a seeded violation fails it),
+// with //lint:allow(rule) reason as the only suppression. See
+// internal/lint's package documentation for the rule catalog.
+//
 // The impossibility adversaries are substrate-agnostic too: the
 // strategy logic of Algorithms 1 and 2 (internal/adversary) runs once
 // against a driver interface, with a simulated backend stepping the

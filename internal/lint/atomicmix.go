@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags mixed atomic/plain access: any variable or struct
+// field whose address is passed to a sync/atomic function anywhere in
+// the program must be accessed through sync/atomic everywhere. A
+// plain read or write of such a location is a latent data race that
+// `-race` only reports if the schedule happens to exercise it; this
+// rule makes the invariant a build-time fact. (The typed atomics —
+// atomic.Int64 and friends — are safe by construction and outside
+// this rule's scope; prefer them for new code.)
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "locations touched via sync/atomic must be accessed atomically everywhere",
+		Run:  runAtomicMix,
+	}
+}
+
+// atomicFns are the address-taking sync/atomic package functions.
+var atomicFns = func() map[string]bool {
+	m := map[string]bool{}
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			m[op+ty] = true
+		}
+	}
+	return m
+}()
+
+func runAtomicMix(prog *Program) []Finding {
+	// Pass 1: every object whose address feeds a sync/atomic call.
+	atomicAt := map[*types.Var]token.Pos{}
+	for _, pkg := range prog.Pkgs {
+		p := pkg
+		p.walkStack(func(n ast.Node, _ []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.stdCall(call, "sync/atomic")
+			if !ok || !atomicFns[fn.Name()] || len(call.Args) == 0 {
+				return true
+			}
+			if v := p.addressedVar(call.Args[0]); v != nil {
+				if _, seen := atomicAt[v]; !seen {
+					atomicAt[v] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other mention of those objects is a plain access
+	// unless it is itself the &x of a sync/atomic call.
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		p := pkg
+		p.walkStack(func(n ast.Node, stack []ast.Node) bool {
+			var obj types.Object
+			var at ast.Expr
+			switch n := n.(type) {
+			case *ast.Ident:
+				// Selector .Sel idents are handled by their parent so
+				// the whole x.f expression anchors the finding.
+				if len(stack) > 0 {
+					if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == n {
+						return true
+					}
+				}
+				obj, at = p.Info.Uses[n], n
+			case *ast.SelectorExpr:
+				if s := p.Info.Selections[n]; s != nil {
+					obj, at = s.Obj(), n
+				} else {
+					obj, at = p.Info.Uses[n.Sel], n
+				}
+			default:
+				return true
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return true
+			}
+			first, hot := atomicAt[v]
+			if !hot || inAtomicArg(p, stack) || inKeyedLiteral(stack, at) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  prog.Position(at.Pos()),
+				Rule: "atomicmix",
+				Message: fmt.Sprintf("%s is accessed with sync/atomic (first at %s); this plain access can race with it — use sync/atomic here too, or a typed atomic",
+					exprKey(at), trimPos(prog.Position(first))),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// addressedVar resolves &x or &x.f to the variable or field object
+// whose address is taken; nil for anything else (index expressions,
+// calls, conversions).
+func (p *Pkg) addressedVar(arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[x]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := p.Info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// inAtomicArg reports whether the current node sits inside the first
+// argument of a sync/atomic call (the sanctioned access).
+func inAtomicArg(p *Pkg, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn, ok := p.stdCall(call, "sync/atomic"); ok && atomicFns[fn.Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// inKeyedLiteral reports whether expr is the key of a keyed composite
+// literal element (S{field: v}): initialization before the value is
+// shared, the one plain mention that is conventionally safe.
+func inKeyedLiteral(stack []ast.Node, expr ast.Expr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	return ok && kv.Key == expr
+}
+
+// trimPos shortens a position to dir/file:line for messages.
+func trimPos(pos token.Position) string {
+	name := pos.Filename
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		if j := strings.LastIndex(name[:i], "/"); j >= 0 {
+			name = name[j+1:]
+		}
+	}
+	return fmt.Sprintf("%s:%d", name, pos.Line)
+}

@@ -1,0 +1,18 @@
+// This file's package-doc directive suppresses the whole file.
+//
+//lint:allow(determinism) fixture: whole-file suppression
+package fixture
+
+//lint:deterministic
+
+import "time"
+
+// FileScopeA is covered by the package-doc directive.
+func FileScopeA() int64 {
+	return time.Now().UnixNano()
+}
+
+// FileScopeB too, at the other end of the file.
+func FileScopeB() int64 {
+	return time.Now().UnixNano()
+}

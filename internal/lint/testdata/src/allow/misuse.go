@@ -1,0 +1,15 @@
+// Reasonless or malformed directives are findings themselves (rule
+// "directive") and suppress nothing.
+package fixture
+
+//lint:deterministic
+
+import "time"
+
+// NoReason's directive has no written reason: rejected, so the
+// violation below still fires.
+func NoReason() int64 {
+	//lint:allow(determinism)
+	// want-prev: needs a rule list and a written reason
+	return time.Now().UnixNano() // want: reads the wall clock
+}

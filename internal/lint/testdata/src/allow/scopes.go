@@ -1,0 +1,47 @@
+// Package fixture exercises the allow-directive scopes. This file is
+// in determinism scope via the marker below; each directive form must
+// suppress exactly its documented span.
+package fixture
+
+//lint:deterministic
+
+import "time"
+
+// FuncScope's doc-comment directive suppresses its whole body.
+//
+//lint:allow(determinism) fixture: function-scope suppression
+func FuncScope() int64 {
+	return time.Now().UnixNano()
+}
+
+// LineScope's directive sits directly above the flagged line.
+func LineScope() int64 {
+	//lint:allow(determinism) fixture: line-scope suppression
+	return time.Now().UnixNano()
+}
+
+// MultiRule lists several rules in one directive.
+//
+//lint:allow(determinism,lockorder) fixture: multi-rule suppression
+func MultiRule() int64 {
+	return time.Now().UnixNano()
+}
+
+// WrongRule's directive names a different rule: no suppression.
+func WrongRule() int64 {
+	//lint:allow(atomicmix) fixture: wrong rule must not suppress
+	return time.Now().UnixNano() // want: reads the wall clock
+}
+
+// OutOfSpan: a line-scope directive does not reach later lines.
+func OutOfSpan() int64 {
+	//lint:allow(determinism) fixture: covers only the next line
+	a := time.Now().UnixNano()
+	b := time.Now().UnixNano() // want: reads the wall clock
+	return a + b
+}
+
+// Unsuppressed has no directive at all.
+func Unsuppressed() int64 {
+	return time.Now().UnixNano() // want: reads the wall clock
+}

@@ -1,0 +1,52 @@
+// Package fixture exercises the atomicmix rule: a location touched
+// via sync/atomic anywhere must be accessed atomically everywhere.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	cold int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) loadGood() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) loadBad() int64 {
+	return c.n // want: plain access can race
+}
+
+func (c *counter) storeBad() {
+	c.n = 0 // want: plain access can race
+}
+
+// cold is never touched atomically, so plain access is fine.
+func (c *counter) coldGood() int64 {
+	c.cold++
+	return c.cold
+}
+
+// Keyed composite-literal initialization is the sanctioned plain
+// mention: the value is not shared yet.
+func newCounter() *counter {
+	return &counter{n: 0, cold: 0}
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func hitsBad() int64 {
+	return hits // want: plain access can race
+}
+
+func hitsGood() int64 {
+	return atomic.LoadInt64(&hits)
+}

@@ -1,0 +1,8 @@
+// Package loadgen lost its scenario.go in a refactor: the rule flags
+// the dropped determinism coverage rather than silently shrinking.
+package loadgen // want: scenario.go is gone
+
+// Plan is pure.
+func Plan(seed uint64) uint64 {
+	return seed * 0x9e3779b97f4a7c15
+}

@@ -1,0 +1,10 @@
+// Package loadgen replicates the plan-compile path: arrival.go and
+// scenario.go are in determinism scope by name.
+package loadgen
+
+import "time"
+
+// At leaks the wall clock into a plan.
+func At() int64 {
+	return time.Now().UnixNano() // want: reads the wall clock
+}

@@ -1,0 +1,9 @@
+package loadgen
+
+import "time"
+
+// Elapsed is outside the scoped files: wall-clock reads are the
+// runtime driver's job, not the plan compiler's.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,10 @@
+package loadgen
+
+// Mix is pure: scenario.go stays clean.
+func Mix(weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}

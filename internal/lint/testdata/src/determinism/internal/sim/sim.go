@@ -1,0 +1,42 @@
+// Package sim is in determinism scope by path: every file of an
+// internal/sim package must be a pure function of its seed.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want: reads the wall clock
+}
+
+// Roll uses the process-global generator.
+func Roll() int {
+	return rand.Intn(6) // want: process-global generator
+}
+
+// RollSeeded threads a seeded source: fine.
+func RollSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Sum ranges over a map: iteration order is randomized.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want: map iteration order
+		total += v
+	}
+	return total
+}
+
+// SumSlice ranges over a slice: order is positional, fine.
+func SumSlice(vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package fixture hosts a file opted into determinism scope by the
+// marker comment below.
+package fixture
+
+//lint:deterministic
+
+import "math/rand"
+
+// Jitter uses the global generator in a marked file.
+func Jitter() float64 {
+	return rand.Float64() // want: process-global generator
+}

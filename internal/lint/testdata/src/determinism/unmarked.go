@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand"
+
+// Unscoped is not in any determinism scope: the global generator is
+// allowed here.
+func Unscoped() float64 {
+	return rand.Float64()
+}

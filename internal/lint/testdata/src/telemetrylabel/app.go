@@ -1,0 +1,61 @@
+// Package fixture exercises the telemetrylabel rule: label values
+// must provably derive from finite sources.
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+
+	"fixture/internal/telemetry"
+)
+
+// Finite sources: literals, constants, strconv over numerics,
+// const-format Sprintf, concatenation, single-assigned locals.
+func finiteSources(reg *telemetry.Registry, shard int, hot bool) {
+	const mode = "steady"
+	reg.Counter("evts_total", "events", "lane", "shared")
+	reg.Gauge("depth", "queue depth", "mode", mode)
+	reg.Counter("cuts_total", "cuts", "shard", strconv.Itoa(shard))
+	reg.Gauge("hot", "hot flag", "hot", strconv.FormatBool(hot))
+	reg.Histogram("lat_ns", "latency", "cell", fmt.Sprintf("r%dc%d", shard, shard))
+	reg.Counter("mix_total", "mix", "kind", "w"+strconv.Itoa(shard))
+	lane := "pinned"
+	reg.Gauge("lanes", "lanes", "lane", lane)
+}
+
+// Unbounded sources: map lookups, struct fields, reassigned locals,
+// spread label lists.
+type req struct{ client string }
+
+func unboundedSources(reg *telemetry.Registry, r req, m map[string]string, kvs []string) {
+	reg.Counter("reqs_total", "requests", "client", r.client) // want: may be unbounded
+	reg.Gauge("inflight", "in flight", "client", m["client"]) // want: may be unbounded
+	lane := "shared"
+	if len(m) > 0 {
+		lane = m["lane"]
+	}
+	reg.Counter("lanes_total", "lanes", "lane", lane) // want: may be unbounded
+	reg.Counter("spread_total", "spread", kvs...)     // want: spread labels
+}
+
+// metricsFor's algo parameter is finite: every call site passes a
+// constant, which the call-graph trace proves.
+func metricsFor(reg *telemetry.Registry, algo string) *telemetry.Counter {
+	return reg.Counter("tx_total", "transactions", "algo", algo)
+}
+
+func useTL2(reg *telemetry.Registry) *telemetry.Counter { return metricsFor(reg, "tl2") }
+
+func useNOrec(reg *telemetry.Registry) *telemetry.Counter { return metricsFor(reg, "norec") }
+
+// accountFor's client parameter is fed by a parameter of its own
+// caller with no further call sites: unprovable, flagged here at the
+// registry call.
+func accountFor(reg *telemetry.Registry, client string) *telemetry.Gauge {
+	return reg.Gauge("slots", "slots", "client", client) // want: may be unbounded
+}
+
+// Admit is exported, so its client argument has no visible bound.
+func Admit(reg *telemetry.Registry, name string) *telemetry.Gauge {
+	return accountFor(reg, name)
+}

@@ -1,0 +1,25 @@
+// Package telemetry replicates the registry surface the rule keys on.
+// The registry implementation itself is exempt: it handles raw kvs by
+// design.
+package telemetry
+
+// Registry resolves labeled instrument series.
+type Registry struct{}
+
+// Counter is a monotone series.
+type Counter struct{}
+
+// Gauge is a point-in-time series.
+type Gauge struct{}
+
+// Histogram is a distribution series.
+type Histogram struct{}
+
+// Counter resolves a counter series for the label pairs.
+func (r *Registry) Counter(name, help string, kvs ...string) *Counter { return &Counter{} }
+
+// Gauge resolves a gauge series for the label pairs.
+func (r *Registry) Gauge(name, help string, kvs ...string) *Gauge { return &Gauge{} }
+
+// Histogram resolves a histogram series for the label pairs.
+func (r *Registry) Histogram(name, help string, kvs ...string) *Histogram { return &Histogram{} }

@@ -1,0 +1,10 @@
+// Package client deliberately never calls server.SentinelOf, so wire
+// errors cannot unwrap to engine sentinels.
+package client // want: never calls server.SentinelOf
+
+import "fixture/internal/server"
+
+// Code encodes but nothing ever decodes.
+func Code(err error) string {
+	return server.CodeOf(err)
+}

@@ -1,0 +1,29 @@
+// Package engine exercises the wiresentinel rule's sentinel side:
+// exported Err* vars must round-trip through the server tables.
+package engine
+
+import "errors"
+
+// ErrOne is fully wired: CodeOf and SentinelOf agree.
+var ErrOne = errors.New("engine: one")
+
+// ErrTwo appears in neither table.
+var ErrTwo = errors.New("engine: two") // want: has no wire code
+
+// ErrThree encodes but the code never decodes back.
+var ErrThree = errors.New("engine: three") // want: never decodes that code back
+
+// ErrFour decodes but CodeOf never encodes it.
+var ErrFour = errors.New("engine: four") // want: the table is one-way
+
+// ErrFive encodes to "five" but SentinelOf decodes it from "5" only.
+var ErrFive = errors.New("engine: five") // want: tables disagree
+
+// errHidden is unexported: out of scope.
+var errHidden = errors.New("engine: hidden")
+
+// ErrCode is exported and Err-prefixed but not an error: out of scope.
+var ErrCode = "not-an-error"
+
+// Used keeps the unexported sentinel referenced.
+func Used() error { return errHidden }

@@ -1,0 +1,34 @@
+// Package server carries the fixture's wire code tables.
+package server
+
+import (
+	"errors"
+
+	"fixture/internal/engine"
+)
+
+// CodeOf maps engine sentinels to wire codes.
+func CodeOf(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrOne):
+		return "one"
+	case errors.Is(err, engine.ErrThree):
+		return "three"
+	case errors.Is(err, engine.ErrFive):
+		return "five"
+	}
+	return "internal"
+}
+
+// SentinelOf maps wire codes back to engine sentinels.
+func SentinelOf(code string) error {
+	switch code {
+	case "one":
+		return engine.ErrOne
+	case "four":
+		return engine.ErrFour
+	case "5":
+		return engine.ErrFive
+	}
+	return nil
+}

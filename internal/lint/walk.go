@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses every file of pkg, giving the visitor the full
+// ancestor stack (stack[len-1] is n's parent). Return false to prune.
+func (p *Pkg) walkStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			ok := fn(n, stack)
+			stack = append(stack, n)
+			if !ok {
+				// Still ballast the stack: Inspect will deliver the
+				// matching nil pop even for pruned subtrees only if we
+				// return true, so prune by skipping children manually.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// funcFor returns the innermost enclosing function declaration or
+// literal on the stack.
+func funcFor(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function object of a call, nil for
+// indirect calls, conversions, and built-ins.
+func (p *Pkg) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// stdCall reports whether call invokes pkgPath.name (a package-level
+// function of a named package, e.g. sync/atomic.AddInt64), returning
+// the function object.
+func (p *Pkg) stdCall(call *ast.CallExpr, pkgPath string) (*types.Func, bool) {
+	f := p.calleeFunc(call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return nil, false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil, false
+	}
+	return f, true
+}
+
+// namedType reports whether t (after pointer indirection) is the
+// named type pkgPath.name.
+func namedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// exprKey renders a stable identity string for a lock receiver
+// expression: identifiers and field selections verbatim, index
+// expressions normalized so s.cutMu[i] and s.cutMu[k] share the key
+// "s.cutMu[#]".
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[#]"
+	case *ast.UnaryExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.CallExpr:
+		return "call:" + exprKey(e.Fun) + "()"
+	default:
+		return fmt.Sprintf("expr:%T", e)
+	}
+}
+
+// callIndex maps every function object to its call sites across the
+// whole program — the one-level interprocedural view telemetrylabel
+// uses to decide whether a string parameter is fed only finite
+// values.
+type callIndex struct {
+	calls map[*types.Func][]callSite
+}
+
+type callSite struct {
+	pkg  *Pkg
+	call *ast.CallExpr
+}
+
+func buildCallIndex(prog *Program) *callIndex {
+	ci := &callIndex{calls: map[*types.Func][]callSite{}}
+	for _, pkg := range prog.Pkgs {
+		p := pkg
+		p.walkStack(func(n ast.Node, _ []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f := p.calleeFunc(call); f != nil {
+				ci.calls[f] = append(ci.calls[f], callSite{pkg: p, call: call})
+			}
+			return true
+		})
+	}
+	return ci
+}
+
+// pathHasSuffix matches an import path against a module-relative
+// suffix ("internal/engine" matches "livetm/internal/engine").
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

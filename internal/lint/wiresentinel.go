@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Paths the wiresentinel rule wires together. They are matched as
+// module-relative suffixes so the rule works identically on the livetm
+// module and on the fixture modules that replicate its layout.
+const (
+	enginePathSuffix = "internal/engine"
+	serverPathSuffix = "internal/server"
+	clientPathSuffix = "internal/client"
+)
+
+// WireSentinel proves wire round-trip completeness for the engine's
+// error sentinels as a build-time fact:
+//
+//   - every exported package-level `Err*` variable in internal/engine
+//     must have a wire code in internal/server's CodeOf table and a
+//     reverse mapping in its SentinelOf table;
+//   - the two tables must agree (CodeOf maps a sentinel to the code
+//     SentinelOf maps back to it, and vice versa);
+//   - internal/client must actually consume SentinelOf (its Error
+//     unwrapping), otherwise errors.Is against engine sentinels
+//     silently stops holding across the wire.
+//
+// A sentinel that genuinely never crosses the wire (for example one
+// consumed by the retry loop before it can escape a submission)
+// carries an //lint:allow(wiresentinel) directive at its declaration
+// stating why.
+func WireSentinel() *Analyzer {
+	return &Analyzer{
+		Name: "wiresentinel",
+		Doc:  "engine Err* sentinels round-trip through the server/client wire code tables",
+		Run:  runWireSentinel,
+	}
+}
+
+func runWireSentinel(prog *Program) []Finding {
+	engine := findPkg(prog, enginePathSuffix)
+	server := findPkg(prog, serverPathSuffix)
+	client := findPkg(prog, clientPathSuffix)
+	if engine == nil {
+		return nil // nothing to prove in this module
+	}
+
+	// The sentinels: exported package-level Err* vars of type error.
+	var sentinels []*types.Var
+	scope := engine.Types.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !v.Exported() {
+			continue
+		}
+		// Sentinels are typed `error` (the errors.New convention).
+		if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+			continue
+		}
+		sentinels = append(sentinels, v)
+	}
+	if len(sentinels) == 0 {
+		return nil
+	}
+	var out []Finding
+	if server == nil {
+		out = append(out, Finding{
+			Pos:  prog.Position(engine.Files[0].Pos()),
+			Rule: "wiresentinel",
+			Message: fmt.Sprintf("%s declares %d Err* sentinels but no %s package is in the analyzed set to carry their wire codes",
+				engine.Path, len(sentinels), serverPathSuffix),
+		})
+		return out
+	}
+
+	codeOf, codeOfFound := server.sentinelToCode("CodeOf")
+	sentinelOf, sentinelOfFound := server.codeToSentinel("SentinelOf")
+	if !codeOfFound {
+		out = append(out, Finding{
+			Pos:     prog.Position(server.Files[0].Pos()),
+			Rule:    "wiresentinel",
+			Message: "internal/server has no CodeOf function mapping engine sentinels to wire codes",
+		})
+	}
+	if !sentinelOfFound {
+		out = append(out, Finding{
+			Pos:     prog.Position(server.Files[0].Pos()),
+			Rule:    "wiresentinel",
+			Message: "internal/server has no SentinelOf function mapping wire codes back to engine sentinels",
+		})
+	}
+	if !codeOfFound || !sentinelOfFound {
+		return out
+	}
+
+	// Completeness: every sentinel appears in both tables.
+	for _, v := range sentinels {
+		code, inCodeOf := codeOf[v]
+		reverse := ""
+		for c, sv := range sentinelOf {
+			if sv == v {
+				reverse = c
+				break
+			}
+		}
+		switch {
+		case !inCodeOf && reverse == "":
+			out = append(out, Finding{
+				Pos:  prog.Position(v.Pos()),
+				Rule: "wiresentinel",
+				Message: fmt.Sprintf("engine.%s has no wire code: add it to server.CodeOf and server.SentinelOf, or justify why it never crosses the wire",
+					v.Name()),
+			})
+		case !inCodeOf:
+			out = append(out, Finding{
+				Pos:  prog.Position(v.Pos()),
+				Rule: "wiresentinel",
+				Message: fmt.Sprintf("engine.%s is decodable (SentinelOf %q) but server.CodeOf never encodes it: the table is one-way",
+					v.Name(), reverse),
+			})
+		case reverse == "":
+			out = append(out, Finding{
+				Pos:  prog.Position(v.Pos()),
+				Rule: "wiresentinel",
+				Message: fmt.Sprintf("engine.%s encodes to %q but server.SentinelOf never decodes that code back: errors.Is breaks across the wire",
+					v.Name(), code),
+			})
+		case sentinelOf[code] != v:
+			got := "nil"
+			if sv := sentinelOf[code]; sv != nil {
+				got = sv.Name()
+			}
+			out = append(out, Finding{
+				Pos:  prog.Position(v.Pos()),
+				Rule: "wiresentinel",
+				Message: fmt.Sprintf("tables disagree: CodeOf(engine.%s) = %q but SentinelOf(%q) = %s",
+					v.Name(), code, code, got),
+			})
+		}
+	}
+
+	// The client must consume the reverse table.
+	if client != nil {
+		uses := false
+		for _, obj := range client.Info.Uses {
+			if f, ok := obj.(*types.Func); ok && f.Name() == "SentinelOf" &&
+				f.Pkg() != nil && f.Pkg().Path() == server.Path {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			out = append(out, Finding{
+				Pos:     prog.Position(client.Files[0].Pos()),
+				Rule:    "wiresentinel",
+				Message: "internal/client never calls server.SentinelOf: wire errors will not unwrap to engine sentinels",
+			})
+		}
+	}
+	return out
+}
+
+func findPkg(prog *Program, suffix string) *Pkg {
+	for _, p := range prog.Pkgs {
+		if pathHasSuffix(p.Path, suffix) {
+			return p
+		}
+	}
+	return nil
+}
+
+// sentinelToCode parses a CodeOf-shaped function: switch cases of
+// errors.Is(err, engine.ErrX) returning a code constant.
+func (p *Pkg) sentinelToCode(fnName string) (map[*types.Var]string, bool) {
+	fd := p.funcDecl(fnName)
+	if fd == nil {
+		return nil, false
+	}
+	out := map[*types.Var]string{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		var sent *types.Var
+		for _, cond := range cc.List {
+			call, ok := ast.Unparen(cond).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if f, ok := p.stdCall(call, "errors"); !ok || f.Name() != "Is" || len(call.Args) != 2 {
+				continue
+			}
+			if sel, ok := ast.Unparen(call.Args[1]).(*ast.SelectorExpr); ok {
+				if v, ok := p.Info.Uses[sel.Sel].(*types.Var); ok {
+					sent = v
+				}
+			}
+		}
+		if sent == nil {
+			return true
+		}
+		if code, ok := p.returnedString(cc.Body); ok {
+			out[sent] = code
+		}
+		return true
+	})
+	return out, true
+}
+
+// codeToSentinel parses a SentinelOf-shaped function: switch cases of
+// code constants returning engine sentinels.
+func (p *Pkg) codeToSentinel(fnName string) (map[string]*types.Var, bool) {
+	fd := p.funcDecl(fnName)
+	if fd == nil {
+		return nil, false
+	}
+	out := map[string]*types.Var{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		var codes []string
+		for _, cond := range cc.List {
+			if tv, ok := p.Info.Types[cond]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				codes = append(codes, constant.StringVal(tv.Value))
+			}
+		}
+		if len(codes) == 0 {
+			return true
+		}
+		var sent *types.Var
+		for _, st := range cc.Body {
+			ret, ok := st.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			if sel, ok := ast.Unparen(ret.Results[0]).(*ast.SelectorExpr); ok {
+				if v, ok := p.Info.Uses[sel.Sel].(*types.Var); ok {
+					sent = v
+				}
+			}
+		}
+		for _, c := range codes {
+			out[c] = sent // nil records "decodes to no sentinel"
+		}
+		return true
+	})
+	return out, true
+}
+
+// returnedString extracts the single constant string returned by a
+// case body.
+func (p *Pkg) returnedString(body []ast.Stmt) (string, bool) {
+	for _, st := range body {
+		ret, ok := st.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			continue
+		}
+		if tv, ok := p.Info.Types[ret.Results[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+	}
+	return "", false
+}
+
+// funcDecl finds a top-level function by name.
+func (p *Pkg) funcDecl(name string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Recv == nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -50,9 +50,12 @@ type Artifact struct {
 
 // PhaseResult is one phase's measured outcome.
 type PhaseResult struct {
-	Name       string `json:"name"`
-	Fault      string `json:"fault,omitempty"`
-	DurationMS int64  `json:"duration_ms"`
+	Name string `json:"name"`
+	// Fault is the phase's first injected fault (kept for older
+	// consumers); Faults is the full layered list in injection order.
+	Fault      string   `json:"fault,omitempty"`
+	Faults     []string `json:"faults,omitempty"`
+	DurationMS int64    `json:"duration_ms"`
 	// Planned is deterministic (from the plan); the rest is measured.
 	Planned    int    `json:"planned"`
 	Dispatched uint64 `json:"dispatched"`
@@ -82,8 +85,11 @@ type PhaseResult struct {
 	// admission layer turned away.
 	RefusalRate float64 `json:"refusal_rate"`
 
-	FaultOutcome *FaultResult `json:"fault_result,omitempty"`
-	FirstError   string       `json:"first_error,omitempty"`
+	// FaultOutcome is the first layered fault's summary (older
+	// consumers); FaultResults has one entry per fault, Faults order.
+	FaultOutcome *FaultResult   `json:"fault_result,omitempty"`
+	FaultResults []*FaultResult `json:"fault_results,omitempty"`
+	FirstError   string         `json:"first_error,omitempty"`
 }
 
 // FaultResult summarizes the inject phase's adversary runs.

@@ -186,6 +186,110 @@ func TestRunCapabilityValidation(t *testing.T) {
 	if _, err := Run(context.Background(), &SessionTarget{S: sess, NVars: 4}, sc, "", Options{}); err == nil {
 		t.Fatalf("fault scenario ran against a session target")
 	}
+	// The layered spelling hits the same capability check.
+	sc.Phases[1].Fault = ""
+	sc.Phases[1].Faults = []string{"alg1"}
+	if _, err := Run(context.Background(), &SessionTarget{S: sess, NVars: 4}, sc, "", Options{}); err == nil {
+		t.Fatalf("layered fault scenario ran against a session target")
+	}
+}
+
+// TestLayeredFaultValidation pins the layered-fault schema: Fault and
+// Faults combine in order, duplicates and unknown names are rejected.
+func TestLayeredFaultValidation(t *testing.T) {
+	sc := testScenario()
+	sc.Phases[1].Fault = "alg1-crash"
+	sc.Phases[1].Faults = []string{"alg2-parasitic"}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("layered faults rejected: %v", err)
+	}
+	if got := sc.Phases[1].FaultNames(); len(got) != 2 || got[0] != "alg1-crash" || got[1] != "alg2-parasitic" {
+		t.Fatalf("FaultNames = %v, want [alg1-crash alg2-parasitic]", got)
+	}
+	sc.Phases[1].Faults = []string{"alg1-crash"}
+	if err := sc.Validate(); err == nil {
+		t.Fatalf("duplicate fault across Fault and Faults accepted")
+	}
+	sc.Phases[1].Faults = []string{"no-such-fault"}
+	if err := sc.Validate(); err == nil {
+		t.Fatalf("unknown layered fault accepted")
+	}
+	sc.Phases[1].Fault = ""
+	sc.Phases[1].Faults = []string{"alg2-parasitic"}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("faults-only phase rejected: %v", err)
+	}
+	if got := sc.Phases[1].FaultNames(); len(got) != 1 || got[0] != "alg2-parasitic" {
+		t.Fatalf("FaultNames = %v, want [alg2-parasitic]", got)
+	}
+}
+
+// TestRunLayeredFaultsOverWire layers a crash-variant fault with a
+// parasitic one in a single inject phase and checks each strategy ran
+// its own episode loop, with the legacy singular fields still carrying
+// the first entry.
+func TestRunLayeredFaultsOverWire(t *testing.T) {
+	sess, err := engine.Open(engine.SessionConfig{
+		Engine: "native-tl2", Workers: 2, Vars: 8, MaxQueue: 256,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	srv := server.New(sess, server.Config{
+		Info: server.InfoResponse{Engine: sess.Name(), Workers: 2, Vars: 8},
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _ = srv.Drain(ctx)
+	}()
+
+	c := client.New(client.Config{Addr: hs.URL, Name: "lg"})
+	tgt, err := NewWireTarget(context.Background(), c)
+	if err != nil {
+		t.Fatalf("wire target: %v", err)
+	}
+	sc := testScenario()
+	sc.Arrival.Rate = 200
+	sc.Phases = []Phase{
+		{Name: "warmup", Duration: Duration(100 * time.Millisecond)},
+		{Name: "inject", Duration: Duration(700 * time.Millisecond),
+			Faults: []string{"alg1-crash", "alg2-parasitic"}},
+		{Name: "recovery", Duration: Duration(100 * time.Millisecond)},
+	}
+	art, err := Run(context.Background(), tgt, sc, "", Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	inj := art.Phases[1]
+	if len(inj.Faults) != 2 || inj.Faults[0] != "alg1-crash" || inj.Faults[1] != "alg2-parasitic" {
+		t.Fatalf("inject faults = %v", inj.Faults)
+	}
+	if len(inj.FaultResults) != 2 {
+		t.Fatalf("inject has %d fault results, want 2: %+v", len(inj.FaultResults), inj.FaultResults)
+	}
+	for i, fr := range inj.FaultResults {
+		if fr.Strategy != inj.Faults[i] {
+			t.Fatalf("fault result %d is %q, want %q", i, fr.Strategy, inj.Faults[i])
+		}
+		if fr.Error != "" {
+			t.Fatalf("fault %s errored: %s", fr.Strategy, fr.Error)
+		}
+		if fr.Runs < 1 {
+			t.Fatalf("fault %s never completed an episode: %+v", fr.Strategy, fr)
+		}
+	}
+	// Legacy singular fields mirror the first layered entry.
+	if inj.Fault != "alg1-crash" || inj.FaultOutcome != inj.FaultResults[0] {
+		t.Fatalf("legacy fault fields diverged: fault=%q outcome=%+v", inj.Fault, inj.FaultOutcome)
+	}
+	for _, pi := range []int{0, 2} {
+		if art.Phases[pi].Fault != "" || len(art.Phases[pi].FaultResults) != 0 {
+			t.Fatalf("phase %s unexpectedly carries faults: %+v", art.Phases[pi].Name, art.Phases[pi])
+		}
+	}
 }
 
 // TestRunOverWire drives a short scenario against a served session

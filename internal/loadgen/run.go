@@ -48,9 +48,16 @@ type phaseAgg struct {
 
 	statsIn  engine.SessionStats // target stats entering the phase
 	statsOut engine.SessionStats // and leaving it
-	fault    *FaultResult
+	faults   []*FaultResult      // one per layered fault, phase order
 }
 
+// newPhaseAgg resolves the phase-scoped instruments. The phase label
+// is "<index>/<name>" from the validated scenario file: one registry
+// serves one run, so the label space is exactly the scenario's phase
+// list — finite per process, just not provable from the call graph,
+// hence the telemetrylabel allowance.
+//
+//lint:allow(telemetrylabel) phase label space is the validated scenario's phase list, finite per run/registry
 func newPhaseAgg(reg *telemetry.Registry, phase string) *phaseAgg {
 	if reg == nil {
 		return &phaseAgg{
@@ -96,7 +103,7 @@ func Run(ctx context.Context, tgt Target, sc *Scenario, scenarioHash string, opt
 	}
 	var faulter FaultDriver
 	for _, ph := range sc.Phases {
-		if ph.Fault == "" {
+		if len(ph.FaultNames()) == 0 {
 			continue
 		}
 		var ok bool
@@ -186,46 +193,51 @@ func Run(ctx context.Context, tgt Target, sc *Scenario, scenarioHash string, opt
 		}()
 	}
 
-	// Fault injection runs as episodes in a phase-scoped goroutine;
-	// stop asks it to finish the current episode and exit.
+	// Fault injection runs as episodes in phase-scoped goroutines, one
+	// per layered fault so a crash variant and a parasitic one really
+	// overlap; stop asks each loop to finish its current episode and
+	// waits for all of them.
 	var faultStop chan struct{}
-	var faultDone chan struct{}
-	startFault := func(pi int) {
-		strat, _ := FaultStrategy(sc.Phases[pi].Fault) // validated
-		fr := &FaultResult{Strategy: strat.Name()}
-		aggs[pi].fault = fr
+	var faultWG sync.WaitGroup
+	startFaults := func(pi int) {
 		faultStop = make(chan struct{})
-		faultDone = make(chan struct{})
-		go func() {
-			defer close(faultDone)
-			for {
-				select {
-				case <-faultStop:
-					return
-				case <-ctx.Done():
-					return
-				default:
+		for _, name := range sc.Phases[pi].FaultNames() {
+			strat, _ := FaultStrategy(name) // validated
+			fr := &FaultResult{Strategy: strat.Name()}
+			aggs[pi].faults = append(aggs[pi].faults, fr)
+			stop := faultStop
+			faultWG.Add(1)
+			go func() {
+				defer faultWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-ctx.Done():
+						return
+					default:
+					}
+					out, err := faulter.Fault(strat, fcfg)
+					if err != nil {
+						fr.Error = err.Error()
+						return
+					}
+					fr.Runs++
+					fr.Rounds += out.Rounds
+					if out.LocalProgressViolated() {
+						fr.Violations++
+					}
 				}
-				out, err := faulter.Fault(strat, fcfg)
-				if err != nil {
-					fr.Error = err.Error()
-					return
-				}
-				fr.Runs++
-				fr.Rounds += out.Rounds
-				if out.LocalProgressViolated() {
-					fr.Violations++
-				}
-			}
-		}()
+			}()
+		}
 	}
 	stopFault := func() {
 		if faultStop == nil {
 			return
 		}
 		close(faultStop)
-		<-faultDone
-		faultStop, faultDone = nil, nil
+		faultWG.Wait()
+		faultStop = nil
 	}
 
 	art := &Artifact{
@@ -271,8 +283,8 @@ func Run(ctx context.Context, tgt Target, sc *Scenario, scenarioHash string, opt
 			aggs[pi].statsIn = st
 		}
 		cur = pi
-		if pi >= 0 && sc.Phases[pi].Fault != "" {
-			startFault(pi)
+		if pi >= 0 && len(sc.Phases[pi].FaultNames()) > 0 {
+			startFaults(pi)
 		}
 		return nil
 	}
@@ -329,9 +341,9 @@ func Run(ctx context.Context, tgt Target, sc *Scenario, scenarioHash string, opt
 	for i, ph := range sc.Phases {
 		agg := aggs[i]
 		durMS := time.Duration(ph.Duration).Milliseconds()
+		names := ph.FaultNames()
 		pr := PhaseResult{
 			Name:       ph.Name,
-			Fault:      ph.Fault,
 			DurationMS: durMS,
 			Planned:    plan.PlannedByPhase[i],
 			Dispatched: agg.dispatched.Load(),
@@ -359,7 +371,17 @@ func Run(ctx context.Context, tgt Target, sc *Scenario, scenarioHash string, opt
 		if attempts := pr.Dispatched + pr.Retries; attempts > 0 {
 			pr.RefusalRate = float64(pr.Refusals) / float64(attempts)
 		}
-		pr.FaultOutcome = agg.fault
+		// Faults carries the full layered list; the singular Fault and
+		// FaultOutcome stay populated with the first entry so older
+		// artifact consumers keep working.
+		if len(names) > 0 {
+			pr.Fault = names[0]
+			pr.Faults = names
+		}
+		pr.FaultResults = agg.faults
+		if len(agg.faults) > 0 {
+			pr.FaultOutcome = agg.faults[0]
+		}
 		if fe, ok := agg.firstErr.Load().(string); ok {
 			pr.FirstError = fe
 		}

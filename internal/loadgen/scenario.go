@@ -116,6 +116,23 @@ type Phase struct {
 	// "alg2-parasitic") run repeatedly as a fault injector for the
 	// phase's duration (wire targets only).
 	Fault string `json:"fault,omitempty"`
+	// Faults layers several strategies in one phase, each driven by
+	// its own concurrent episode loop — e.g. a crash variant riding
+	// alongside a parasitic one, the compound failure mode a single
+	// injector cannot produce. Combines with Fault (which runs first
+	// in artifact order); duplicate names are rejected.
+	Faults []string `json:"faults,omitempty"`
+}
+
+// FaultNames is the phase's combined fault list: the legacy singular
+// Fault first, then Faults, order preserved. Empty when the phase
+// injects nothing.
+func (p *Phase) FaultNames() []string {
+	var names []string
+	if p.Fault != "" {
+		names = append(names, p.Fault)
+	}
+	return append(names, p.Faults...)
 }
 
 // RampStep adds workers at an offset from run start.
@@ -197,8 +214,13 @@ func (s *Scenario) Validate() error {
 		if p.Duration <= 0 {
 			return fmt.Errorf("phase %q needs duration > 0", p.Name)
 		}
-		if p.Fault != "" {
-			if _, err := FaultStrategy(p.Fault); err != nil {
+		seen := map[string]bool{}
+		for _, name := range p.FaultNames() {
+			if seen[name] {
+				return fmt.Errorf("phase %q lists fault %q more than once", p.Name, name)
+			}
+			seen[name] = true
+			if _, err := FaultStrategy(name); err != nil {
 				return err
 			}
 		}

@@ -86,7 +86,14 @@ func newAdmission(max int, idleAfter time.Duration, reg *telemetry.Registry) *ad
 }
 
 // slotsFor resolves (or fabricates, registry-free) the client's
-// account. Callers hold a.mu.
+// account. Callers hold a.mu. The client label is client-supplied by
+// design (per-client fairness needs per-client series); the space is
+// bounded at runtime by idle eviction — sweep() unregisters series for
+// clients idle past ClientIdleAfter and folds their counters into the
+// "(evicted)" aggregate, which is the leak fix the telemetrylabel rule
+// exists to guard, hence the allowance below.
+//
+//lint:allow(telemetrylabel) client label is bounded at runtime by idle eviction (sweep folds retired series into "(evicted)")
 func (a *admission) slotsFor(client string) *clientSlots {
 	cs := a.clients[client]
 	if cs == nil {
